@@ -1,0 +1,191 @@
+package pfpl_test
+
+// One benchmark per table and figure of the paper (see DESIGN.md §4 for the
+// experiment index), plus direct throughput benchmarks of the PFPL
+// executors. The figure benchmarks run the evaluation sweep on a truncated
+// workload so `go test -bench=.` completes in minutes; `cmd/pfplbench`
+// regenerates the full tables.
+
+import (
+	"math"
+	"testing"
+
+	"pfpl"
+	"pfpl/internal/core"
+	"pfpl/internal/eval"
+	"pfpl/internal/sdrbench"
+)
+
+func benchData32(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		x := float64(i) * 1e-4
+		out[i] = float32(math.Sin(x) + 0.3*math.Cos(9*x))
+	}
+	return out
+}
+
+func benchData64(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		x := float64(i) * 1e-4
+		out[i] = math.Sin(x) + 0.3*math.Cos(9*x)
+	}
+	return out
+}
+
+func quickCfg() eval.Config {
+	return eval.Config{Scale: sdrbench.ScaleSmall, Reps: 1, MaxFilesPerSuite: 1}
+}
+
+// --- direct compressor throughput (the quantities Figures 6-15 plot) ---
+
+func benchCompress32(b *testing.B, dev pfpl.Device, mode pfpl.Mode, bound float64) {
+	src := benchData32(1 << 22)
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Compress32(src, mode, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecompress32(b *testing.B, dev pfpl.Device, mode pfpl.Mode, bound float64) {
+	src := benchData32(1 << 22)
+	comp, err := dev.Compress32(src, mode, bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Decompress32(comp, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressABS32Serial(b *testing.B) { benchCompress32(b, pfpl.Serial(), pfpl.ABS, 1e-3) }
+func BenchmarkCompressABS32CPU(b *testing.B)    { benchCompress32(b, pfpl.CPU(0), pfpl.ABS, 1e-3) }
+func BenchmarkCompressABS32GPUSim(b *testing.B) {
+	benchCompress32(b, pfpl.GPU(pfpl.RTX4090), pfpl.ABS, 1e-3)
+}
+func BenchmarkCompressREL32Serial(b *testing.B) { benchCompress32(b, pfpl.Serial(), pfpl.REL, 1e-3) }
+func BenchmarkCompressREL32CPU(b *testing.B)    { benchCompress32(b, pfpl.CPU(0), pfpl.REL, 1e-3) }
+func BenchmarkCompressNOA32CPU(b *testing.B)    { benchCompress32(b, pfpl.CPU(0), pfpl.NOA, 1e-3) }
+func BenchmarkDecompressABS32Serial(b *testing.B) {
+	benchDecompress32(b, pfpl.Serial(), pfpl.ABS, 1e-3)
+}
+func BenchmarkDecompressABS32CPU(b *testing.B) { benchDecompress32(b, pfpl.CPU(0), pfpl.ABS, 1e-3) }
+func BenchmarkDecompressABS32GPUSim(b *testing.B) {
+	benchDecompress32(b, pfpl.GPU(pfpl.RTX4090), pfpl.ABS, 1e-3)
+}
+func BenchmarkDecompressREL32CPU(b *testing.B) { benchDecompress32(b, pfpl.CPU(0), pfpl.REL, 1e-3) }
+
+func BenchmarkCompressABS64CPU(b *testing.B) {
+	src := benchData64(1 << 21)
+	dev := pfpl.CPU(0)
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Compress64(src, pfpl.ABS, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressABS64CPU(b *testing.B) {
+	src := benchData64(1 << 21)
+	dev := pfpl.CPU(0)
+	comp, err := dev.Compress64(src, pfpl.ABS, 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, len(src))
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Decompress64(comp, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- per-table / per-figure regeneration benchmarks ---
+
+func BenchmarkTable1Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := eval.Table1(); len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable2Suites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := eval.Table2(sdrbench.ScaleSmall); len(r.CSV) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable3Features(b *testing.B) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		if r := eval.Table3(cfg); len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func benchScatter(b *testing.B, mode core.Mode, double bool) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		ms := eval.RunScatter(mode, double, cfg)
+		if len(ms) == 0 {
+			b.Fatal("no measurements")
+		}
+		if aggs := eval.AggregateScatter(ms); len(aggs) == 0 {
+			b.Fatal("no aggregates")
+		}
+	}
+}
+
+func BenchmarkFig6AbsCompression(b *testing.B)    { benchScatter(b, core.ABS, false) }
+func BenchmarkFig6bAbsCompression64(b *testing.B) { benchScatter(b, core.ABS, true) }
+func BenchmarkFig7AbsDecompression(b *testing.B)  { benchScatter(b, core.ABS, false) }
+func BenchmarkFig8RelCompression(b *testing.B)    { benchScatter(b, core.REL, false) }
+func BenchmarkFig9RelCompression64(b *testing.B)  { benchScatter(b, core.REL, true) }
+func BenchmarkFig10RelDecompression(b *testing.B) { benchScatter(b, core.REL, false) }
+func BenchmarkFig12NoaCompression(b *testing.B)   { benchScatter(b, core.NOA, false) }
+func BenchmarkFig13NoaCompression64(b *testing.B) { benchScatter(b, core.NOA, true) }
+func BenchmarkFig14NoaDecompression(b *testing.B) { benchScatter(b, core.NOA, false) }
+
+func BenchmarkFig16PSNR(b *testing.B) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		if reps := eval.Fig16(cfg); len(reps) != 3 {
+			b.Fatal("bad report count")
+		}
+	}
+}
+
+func BenchmarkGPUGenerations(b *testing.B) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		if r := eval.GPUGenerations(cfg); len(r.CSV) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkAblationStages(b *testing.B) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		if r := eval.Ablation(cfg); len(r.CSV) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pfpl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChecksumRoundtrip(t *testing.T) {
+	src := synth32(50000, 70)
+	comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Checksummed {
+		t.Fatal("stream not marked checksummed")
+	}
+	dec, err := Decompress32(comp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyBound(src, dec, ABS, 1e-3); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+	// Range access also verifies the trailer.
+	if _, err := DecompressRange32(comp, 100, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	src := synth32(30000, 71)
+	comp, err := Compress32(src, Options{Mode: REL, Bound: 1e-2, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit anywhere in the stream body: decode must fail.
+	for _, pos := range []int{50, len(comp) / 2, len(comp) - 10} {
+		mut := append([]byte(nil), comp...)
+		mut[pos] ^= 0x40
+		if _, err := Decompress32(mut, nil, Options{}); err == nil {
+			t.Errorf("corruption at %d not detected", pos)
+		}
+	}
+	// Truncation (losing the trailer) is also caught.
+	if _, err := Decompress32(comp[:len(comp)-2], nil, Options{}); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestChecksumIdenticalAcrossDevices(t *testing.T) {
+	src := synth32(40000, 72)
+	var ref []byte
+	for _, d := range []Device{Serial(), CPU(0), GPU(RTX4090)} {
+		comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3, Checksum: true, Device: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = comp
+		} else if !bytes.Equal(ref, comp) {
+			t.Fatalf("%s checksummed stream differs", d.Name())
+		}
+	}
+}
+
+func TestChecksumOptionalCompatibility(t *testing.T) {
+	// Unchecksummed streams still decode with a checksum-aware reader.
+	src := synth32(1000, 73)
+	comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := Stat(comp)
+	if info.Checksummed {
+		t.Error("plain stream marked checksummed")
+	}
+	if _, err := Decompress32(comp, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Checksummed f64 path.
+	src64 := synth64(1000, 74)
+	c64, err := Compress64(src64, Options{Mode: NOA, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress64(c64, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), c64...)
+	mut[60] ^= 1
+	if _, err := Decompress64(mut, nil, Options{}); err == nil {
+		t.Error("f64 corruption not detected")
+	}
+}

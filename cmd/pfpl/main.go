@@ -1,0 +1,172 @@
+// Command pfpl compresses and decompresses raw binary floating-point files
+// with the PFPL algorithm.
+//
+// Usage:
+//
+//	pfpl -mode abs -bound 1e-3 -in data.f32 -out data.pfpl
+//	pfpl -d -in data.pfpl -out restored.f32
+//	pfpl -stat -in data.pfpl
+//
+// Input files for compression are raw little-endian float32 arrays (or
+// float64 with -double). The device flag selects the executor: serial, cpu,
+// or gpu (the simulated RTX 4090).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"pfpl"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "abs", "error-bound type: abs, rel, or noa")
+		bound      = flag.Float64("bound", 1e-3, "error bound")
+		double     = flag.Bool("double", false, "treat input as float64 (compression only)")
+		decompress = flag.Bool("d", false, "decompress instead of compress")
+		stat       = flag.Bool("stat", false, "print stream info and exit")
+		in         = flag.String("in", "", "input file (required)")
+		out        = flag.String("out", "", "output file (required unless -stat)")
+		device     = flag.String("device", "cpu", "executor: serial, cpu, or gpu")
+		checksum   = flag.Bool("sum", false, "append/verify a CRC-32C integrity trailer")
+	)
+	flag.Parse()
+	if *in == "" || (*out == "" && !*stat) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*mode, *bound, *double, *decompress, *stat, *in, *out, *device, *checksum); err != nil {
+		fmt.Fprintln(os.Stderr, "pfpl:", err)
+		os.Exit(1)
+	}
+}
+
+func pickDevice(name string) (pfpl.Device, error) {
+	switch strings.ToLower(name) {
+	case "serial":
+		return pfpl.Serial(), nil
+	case "cpu", "":
+		return pfpl.CPU(0), nil
+	case "gpu":
+		return pfpl.GPU(pfpl.RTX4090), nil
+	}
+	return nil, fmt.Errorf("unknown device %q (want serial, cpu, or gpu)", name)
+}
+
+func pickMode(name string) (pfpl.Mode, error) {
+	switch strings.ToLower(name) {
+	case "abs":
+		return pfpl.ABS, nil
+	case "rel":
+		return pfpl.REL, nil
+	case "noa":
+		return pfpl.NOA, nil
+	}
+	return pfpl.ABS, fmt.Errorf("unknown mode %q (want abs, rel, or noa)", name)
+}
+
+func run(modeName string, bound float64, double, decompress, stat bool, in, out, deviceName string, checksum bool) error {
+	dev, err := pickDevice(deviceName)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+
+	if stat {
+		info, err := pfpl.Stat(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode=%v bound=%g double=%v raw=%v count=%d chunks=%d checksum=%v\n",
+			info.Mode, info.Bound, info.Double, info.Raw, info.Count, info.Chunks, info.Checksummed)
+		if info.Mode == pfpl.NOA {
+			fmt.Printf("noa value range=%g\n", info.NOARange)
+		}
+		return nil
+	}
+
+	if decompress {
+		info, err := pfpl.Stat(data)
+		if err != nil {
+			return err
+		}
+		opts := pfpl.Options{Device: dev}
+		t0 := time.Now()
+		var outBytes []byte
+		if info.Double {
+			vals, err := pfpl.Decompress64(data, nil, opts)
+			if err != nil {
+				return err
+			}
+			outBytes = make([]byte, 8*len(vals))
+			for i, v := range vals {
+				binary.LittleEndian.PutUint64(outBytes[i*8:], math.Float64bits(v))
+			}
+		} else {
+			vals, err := pfpl.Decompress32(data, nil, opts)
+			if err != nil {
+				return err
+			}
+			outBytes = make([]byte, 4*len(vals))
+			for i, v := range vals {
+				binary.LittleEndian.PutUint32(outBytes[i*4:], math.Float32bits(v))
+			}
+		}
+		dt := time.Since(t0)
+		if err := os.WriteFile(out, outBytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("decompressed %d -> %d bytes in %v (%.2f GB/s, %s)\n",
+			len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9, dev.Name())
+		return nil
+	}
+
+	mode, err := pickMode(modeName)
+	if err != nil {
+		return err
+	}
+	var comp []byte
+	var rawLen int
+	t0 := time.Now()
+	if double {
+		if len(data)%8 != 0 {
+			return fmt.Errorf("input size %d is not a multiple of 8", len(data))
+		}
+		vals := make([]float64, len(data)/8)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		rawLen = len(data)
+		comp, err = pfpl.Compress64(vals, pfpl.Options{Mode: mode, Bound: bound, Device: dev, Checksum: checksum})
+	} else {
+		if len(data)%4 != 0 {
+			return fmt.Errorf("input size %d is not a multiple of 4", len(data))
+		}
+		vals := make([]float32, len(data)/4)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+		rawLen = len(data)
+		comp, err = pfpl.Compress32(vals, pfpl.Options{Mode: mode, Bound: bound, Device: dev, Checksum: checksum})
+	}
+	if err != nil {
+		return err
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(out, comp, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %s)\n",
+		rawLen, len(comp), float64(rawLen)/float64(len(comp)), dt,
+		float64(rawLen)/dt.Seconds()/1e9, dev.Name())
+	return nil
+}

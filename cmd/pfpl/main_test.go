@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeF32(t *testing.T, path string, vals []float32) {
+	t.Helper()
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompressDecompressStat(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	comp := filepath.Join(dir, "c.pfpl")
+	out := filepath.Join(dir, "out.f32")
+	vals := make([]float32, 10000)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	writeF32(t, in, vals)
+
+	if err := run("abs", 1e-3, false, false, false, in, comp, "serial", true); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := run("", 0, false, false, true, comp, "", "cpu", false); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := run("", 0, false, true, false, comp, out, "gpu", false); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(vals)*4 {
+		t.Fatalf("restored %d bytes, want %d", len(restored), len(vals)*4)
+	}
+	for i := range vals {
+		r := math.Float32frombits(binary.LittleEndian.Uint32(restored[i*4:]))
+		if d := math.Abs(float64(vals[i]) - float64(r)); d > 1e-3 {
+			t.Fatalf("value %d error %g", i, d)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	writeF32(t, in, []float32{1, 2, 3})
+	if err := run("bogus", 1e-3, false, false, false, in, filepath.Join(dir, "o"), "cpu", false); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run("abs", 1e-3, false, false, false, in, filepath.Join(dir, "o"), "bogus", false); err == nil {
+		t.Error("bogus device accepted")
+	}
+	if err := run("abs", 1e-3, false, false, false, filepath.Join(dir, "missing"), filepath.Join(dir, "o"), "cpu", false); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Odd-sized input is not a float array.
+	odd := filepath.Join(dir, "odd.bin")
+	if err := os.WriteFile(odd, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("abs", 1e-3, false, false, false, odd, filepath.Join(dir, "o"), "cpu", false); err == nil {
+		t.Error("odd-sized input accepted")
+	}
+	// Decompressing garbage fails cleanly.
+	if err := run("abs", 1e-3, false, true, false, in, filepath.Join(dir, "o"), "cpu", false); err == nil {
+		t.Error("garbage stream accepted for decompression")
+	}
+}
+
+func TestRunDouble(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "c.pfpl")
+	out := filepath.Join(dir, "out.f64")
+	buf := make([]byte, 8*1000)
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(math.Cos(float64(i)*0.01)))
+	}
+	if err := os.WriteFile(in, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("noa", 1e-3, true, false, false, in, comp, "cpu", true); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := run("", 0, false, true, false, comp, out, "serial", false); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+}

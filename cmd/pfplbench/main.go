@@ -1,0 +1,130 @@
+// Command pfplbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pfplbench -exp all                 # everything (slow at larger scales)
+//	pfplbench -exp fig6 -scale medium  # one experiment
+//	pfplbench -exp table3 -csv results # also write CSV files
+//
+// Experiments: table1, table2, table3, fig6, fig7, fig8, fig10, fig12,
+// fig14, fig16, gpugen, ablation, lcsearch, takeaways, all. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured discussion.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pfpl/internal/eval"
+	"pfpl/internal/sdrbench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1..3, fig6..16, gpugen, ablation, all)")
+		scale  = flag.String("scale", "small", "dataset scale: small, medium, large")
+		reps   = flag.Int("reps", 3, "timing repetitions (median reported; paper uses 9)")
+		csvDir = flag.String("csv", "", "directory to write CSV files into (optional)")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.Reps = *reps
+	switch strings.ToLower(*scale) {
+	case "small":
+		cfg.Scale = sdrbench.ScaleSmall
+	case "medium":
+		cfg.Scale = sdrbench.ScaleMedium
+	case "large":
+		cfg.Scale = sdrbench.ScaleLarge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	reports, err := runExperiment(strings.ToLower(*exp), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfplbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Println(r.Text())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintln(os.Stderr, "pfplbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func runExperiment(id string, cfg eval.Config) ([]*eval.Report, error) {
+	switch id {
+	case "table1":
+		return []*eval.Report{eval.Table1()}, nil
+	case "table2":
+		return []*eval.Report{eval.Table2(cfg.Scale)}, nil
+	case "table3":
+		return []*eval.Report{eval.Table3(cfg)}, nil
+	case "fig6":
+		return eval.Fig6(cfg), nil
+	case "fig7":
+		return eval.Fig7(cfg), nil
+	case "fig8", "fig9":
+		return eval.Fig8(cfg), nil
+	case "fig10", "fig11":
+		return eval.Fig10(cfg), nil
+	case "fig12", "fig13":
+		return eval.Fig12(cfg), nil
+	case "fig14", "fig15":
+		return eval.Fig14(cfg), nil
+	case "fig16":
+		return eval.Fig16(cfg), nil
+	case "gpugen":
+		return []*eval.Report{eval.GPUGenerations(cfg)}, nil
+	case "ablation":
+		return []*eval.Report{eval.Ablation(cfg)}, nil
+	case "lcsearch":
+		return []*eval.Report{eval.LCSearch(cfg)}, nil
+	case "takeaways":
+		return []*eval.Report{eval.Takeaways(cfg)}, nil
+	case "all":
+		var out []*eval.Report
+		out = append(out, eval.Table1(), eval.Table2(cfg.Scale), eval.Table3(cfg))
+		out = append(out, eval.Fig6(cfg)...)
+		out = append(out, eval.Fig7(cfg)...)
+		out = append(out, eval.Fig8(cfg)...)
+		out = append(out, eval.Fig10(cfg)...)
+		out = append(out, eval.Fig12(cfg)...)
+		out = append(out, eval.Fig14(cfg)...)
+		out = append(out, eval.Fig16(cfg)...)
+		out = append(out, eval.GPUGenerations(cfg), eval.Ablation(cfg), eval.LCSearch(cfg), eval.Takeaways(cfg))
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
+}
+
+func writeCSV(dir string, r *eval.Report) error {
+	if len(r.CSV) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ToLower(strings.ReplaceAll(strings.ReplaceAll(r.ID, " ", "_"), "/", "-")) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(r.CSV); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pfpl/internal/eval"
+	"pfpl/internal/sdrbench"
+)
+
+func quick() eval.Config {
+	return eval.Config{Scale: sdrbench.ScaleSmall, Reps: 1, MaxFilesPerSuite: 1}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	cfg := quick()
+	for _, id := range []string{"table1", "table2", "gpugen", "lcsearch"} {
+		reps, err := runExperiment(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(reps) == 0 {
+			t.Fatalf("%s: no reports", id)
+		}
+	}
+	if _, err := runExperiment("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentFigureAliases(t *testing.T) {
+	cfg := quick()
+	// fig9 aliases fig8's pair, fig11 fig10's, etc.
+	a, err := runExperiment("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runExperiment("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Error("fig8 and fig9 should produce the same report set")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := &eval.Report{ID: "Fig 6a", CSV: [][]string{{"a", "b"}, {"1", "2"}}}
+	if err := writeCSV(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig_6a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content %q", data)
+	}
+	// Empty CSV writes nothing.
+	if err := writeCSV(dir, &eval.Report{ID: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "empty.csv")); !os.IsNotExist(err) {
+		t.Error("empty report created a file")
+	}
+}

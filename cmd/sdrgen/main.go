@@ -1,0 +1,94 @@
+// Command sdrgen materializes the synthetic SDRBench-equivalent datasets as
+// raw little-endian binary files (.f32 / .f64), one directory per suite, so
+// they can be fed to external tools or to the pfpl CLI.
+//
+// Usage:
+//
+//	sdrgen -out ./data -scale small
+//	sdrgen -out ./data -suite NYX
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pfpl/internal/sdrbench"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "sdrbench-data", "output directory")
+		scale = flag.String("scale", "small", "dataset scale: small, medium, large")
+		suite = flag.String("suite", "", "generate only this suite (default: all)")
+	)
+	flag.Parse()
+
+	var sc sdrbench.Scale
+	switch strings.ToLower(*scale) {
+	case "small":
+		sc = sdrbench.ScaleSmall
+	case "medium":
+		sc = sdrbench.ScaleMedium
+	case "large":
+		sc = sdrbench.ScaleLarge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if err := run(*out, sc, *suite); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, sc sdrbench.Scale, only string) error {
+	total := 0
+	for _, s := range sdrbench.Suites(sc) {
+		if only != "" && !strings.EqualFold(s.Name, only) {
+			continue
+		}
+		dir := filepath.Join(outDir, sanitize(s.Name))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range s.Files {
+			ext := ".f32"
+			if s.Double {
+				ext = ".f64"
+			}
+			path := filepath.Join(dir, f.Name+ext)
+			var buf []byte
+			if s.Double {
+				vals := f.Data64()
+				buf = make([]byte, 8*len(vals))
+				for i, v := range vals {
+					binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+				}
+			} else {
+				vals := f.Data32()
+				buf = make([]byte, 4*len(vals))
+				for i, v := range vals {
+					binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+				}
+			}
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("%s  %d bytes  dims=%v\n", path, len(buf), f.Dims)
+			total += len(buf)
+			f.Release()
+		}
+	}
+	fmt.Printf("total: %.1f MB\n", float64(total)/1e6)
+	return nil
+}
+
+func sanitize(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "_")
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pfpl/internal/sdrbench"
+)
+
+func TestRunWritesSuite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, sdrbench.ScaleSmall, "QMCPACK"); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "qmcpack", "*.f32"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no generated files: %v", err)
+	}
+	st, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size()%4 != 0 || st.Size() == 0 {
+		t.Errorf("file size %d not a float32 array", st.Size())
+	}
+}
+
+func TestRunDoubleSuite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, sdrbench.ScaleSmall, "Brown Samples"); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "brown_samples", "*.f64"))
+	if len(files) != 3 {
+		t.Fatalf("got %d .f64 files, want 3", len(files))
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Hurricane Isabel"); got != "hurricane_isabel" {
+		t.Errorf("sanitize: %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package pfpl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGPUDeviceInPublicAPI(t *testing.T) {
+	src := synth32(70000, 20)
+	for _, mode := range []Mode{ABS, REL, NOA} {
+		ref, err := Compress32(src, Options{Mode: mode, Bound: 1e-3, Device: Serial()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := Compress32(src, Options{Mode: mode, Bound: 1e-3, Device: GPU(RTX4090)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, gpu) {
+			t.Fatalf("%v: GPU stream differs", mode)
+		}
+		// Compress on GPU, decompress on CPU and vice versa.
+		cpuDec, err := Decompress32(gpu, nil, Options{Device: CPU(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuDec, err := Decompress32(ref, nil, Options{Device: GPU(A100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cpuDec {
+			if math.Float32bits(cpuDec[i]) != math.Float32bits(gpuDec[i]) {
+				t.Fatalf("%v: cross-device decode differs at %d", mode, i)
+			}
+		}
+		if v := VerifyBound(src, cpuDec, mode, 1e-3); v != 0 {
+			t.Errorf("%v: %d bound violations", mode, v)
+		}
+	}
+}
+
+func TestVerifyBoundDetectsViolations(t *testing.T) {
+	orig := []float32{1, 2, 3}
+	recon := []float32{1, 2.5, 3}
+	if v := VerifyBound(orig, recon, ABS, 0.1); v != 1 {
+		t.Errorf("ABS: got %d violations, want 1", v)
+	}
+	if v := VerifyBound(orig, recon, ABS, 1); v != 0 {
+		t.Errorf("ABS loose: got %d violations, want 0", v)
+	}
+	if v := VerifyBound(orig, recon, REL, 0.01); v != 1 {
+		t.Errorf("REL: got %d violations, want 1", v)
+	}
+	// Sign flip is a REL violation even when the magnitude is close.
+	if v := VerifyBound([]float32{1e-9}, []float32{-1e-9}, REL, 3); v != 1 {
+		t.Errorf("REL sign flip: got %d violations, want 1", v)
+	}
+	// NOA normalizes by the range (here 2).
+	if v := VerifyBound(orig, recon, NOA, 0.1); v != 1 {
+		t.Errorf("NOA tight: got %d, want 1", v)
+	}
+	if v := VerifyBound(orig, recon, NOA, 0.3); v != 0 {
+		t.Errorf("NOA loose: got %d, want 0", v)
+	}
+	// Specials.
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	if v := VerifyBound([]float32{nan, inf}, []float32{nan, inf}, ABS, 0.1); v != 0 {
+		t.Errorf("specials preserved: got %d violations", v)
+	}
+	if v := VerifyBound([]float32{inf}, []float32{0}, ABS, 0.1); v != 1 {
+		t.Errorf("lost infinity: got %d violations, want 1", v)
+	}
+	if v := VerifyBound([]float32{1}, []float32{1, 2}, ABS, 0.1); v != 1 {
+		t.Errorf("length mismatch: got %d violations, want 1", v)
+	}
+}
+
+func TestVerifyBound64(t *testing.T) {
+	orig := []float64{1, -5, 0}
+	recon := []float64{1.0005, -5.004, 0}
+	if v := VerifyBound64(orig, recon, REL, 1e-3); v != 0 {
+		t.Errorf("within bound: %d violations", v)
+	}
+	if v := VerifyBound64(orig, recon, REL, 1e-4); v == 0 {
+		t.Error("violation not detected")
+	}
+}

@@ -1,0 +1,53 @@
+package pfpl_test
+
+import (
+	"fmt"
+	"math"
+
+	"pfpl"
+)
+
+func ExampleCompress32() {
+	data := make([]float32, 100000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	comp, err := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3})
+	if err != nil {
+		panic(err)
+	}
+	restored, err := pfpl.Decompress32(comp, nil, pfpl.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("values:", len(restored))
+	fmt.Println("violations:", pfpl.VerifyBound(data, restored, pfpl.ABS, 1e-3))
+	// Output:
+	// values: 100000
+	// violations: 0
+}
+
+func ExampleStat() {
+	data := []float32{1, 2, 3, 4}
+	comp, _ := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.NOA, Bound: 0.01})
+	info, _ := pfpl.Stat(comp)
+	fmt.Println(info.Mode, info.Count, info.NOARange)
+	// Output:
+	// NOA 4 3
+}
+
+func ExampleGPU() {
+	data := make([]float32, 50000)
+	for i := range data {
+		data[i] = float32(i) * 0.25
+	}
+	// Compress on the simulated GPU, decompress on the CPU: PFPL streams
+	// are bit-compatible across devices.
+	comp, _ := pfpl.Compress32(data, pfpl.Options{
+		Mode: pfpl.REL, Bound: 1e-2, Device: pfpl.GPU(pfpl.RTX4090),
+	})
+	restored, _ := pfpl.Decompress32(comp, nil, pfpl.Options{Device: pfpl.CPU(0)})
+	fmt.Println("violations:", pfpl.VerifyBound(data, restored, pfpl.REL, 1e-2))
+	// Output:
+	// violations: 0
+}

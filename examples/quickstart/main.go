@@ -1,0 +1,44 @@
+// Quickstart: compress a float32 array with a guaranteed absolute error
+// bound, decompress it, and verify the guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pfpl"
+)
+
+func main() {
+	// A smooth signal, the kind of data scientific simulations emit.
+	data := make([]float32, 1<<20)
+	for i := range data {
+		x := float64(i) * 1e-4
+		data[i] = float32(math.Sin(x) + 0.25*math.Cos(17*x))
+	}
+
+	const bound = 1e-3
+	comp, err := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.ABS, Bound: bound})
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := pfpl.Decompress32(comp, nil, pfpl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxErr float64
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(restored[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("original:   %d bytes\n", len(data)*4)
+	fmt.Printf("compressed: %d bytes (ratio %.1fx)\n", len(comp), float64(len(data)*4)/float64(len(comp)))
+	fmt.Printf("max error:  %.3g (bound %.3g)\n", maxErr, bound)
+	if violations := pfpl.VerifyBound(data, restored, pfpl.ABS, bound); violations != 0 {
+		log.Fatalf("guarantee broken: %d violations", violations)
+	}
+	fmt.Println("error bound verified for every value")
+}

@@ -1,0 +1,76 @@
+// Relbound shows why point-wise *relative* error bounds matter: on data
+// whose magnitudes span many orders (a cosmology density field), an ABS
+// bound destroys the small values while REL preserves relative detail
+// everywhere (paper §II.B). PFPL is the only evaluated compressor that
+// guarantees REL on both CPUs and GPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pfpl"
+)
+
+func main() {
+	// Density contrasts spanning ~12 orders of magnitude.
+	data := make([]float32, 1<<20)
+	for i := range data {
+		x := float64(i) * 2e-5
+		logRho := 14 * (math.Sin(x) * math.Sin(3.1*x+1) * math.Cos(0.37*x))
+		data[i] = float32(math.Exp(logRho))
+	}
+	mn, mx := math.Inf(1), 0.0
+	for _, v := range data {
+		mn = math.Min(mn, float64(v))
+		mx = math.Max(mx, float64(v))
+	}
+	fmt.Printf("density field: %d values spanning [%.3g, %.3g]\n\n", len(data), mn, mx)
+
+	const bound = 1e-2
+
+	// REL: every value keeps 1% relative accuracy.
+	relComp, err := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.REL, Bound: bound})
+	if err != nil {
+		log.Fatal(err)
+	}
+	relDec, err := pfpl.Decompress32(relComp, nil, pfpl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := pfpl.VerifyBound(data, relDec, pfpl.REL, bound); v != 0 {
+		log.Fatalf("REL: %d violations", v)
+	}
+
+	// ABS at a bound sized for the big values.
+	absBound := mx * bound
+	absComp, err := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.ABS, Bound: absBound})
+	if err != nil {
+		log.Fatal(err)
+	}
+	absDec, err := pfpl.Decompress32(absComp, nil, pfpl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the fate of the small values under each bound type.
+	worstRel := func(dec []float32) float64 {
+		worst := 0.0
+		for i := range data {
+			if data[i] == 0 {
+				continue
+			}
+			e := math.Abs(float64(data[i])-float64(dec[i])) / math.Abs(float64(data[i]))
+			worst = math.Max(worst, e)
+		}
+		return worst
+	}
+	fmt.Printf("%-28s %-12s %-22s\n", "mode", "ratio", "worst relative error")
+	fmt.Printf("%-28s %-12.2f %-22.3g\n", fmt.Sprintf("REL %.0e", bound),
+		float64(len(data)*4)/float64(len(relComp)), worstRel(relDec))
+	fmt.Printf("%-28s %-12.2f %-22.3g\n", fmt.Sprintf("ABS %.1e (range-scaled)", absBound),
+		float64(len(data)*4)/float64(len(absComp)), worstRel(absDec))
+	fmt.Println("\nABS wipes out the low-density voids (relative error ~1);")
+	fmt.Println("REL preserves 1% accuracy at every scale, guaranteed.")
+}

@@ -1,0 +1,123 @@
+package pfpl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Field-level API: scientific data is usually an n-dimensional grid, and
+// downstream tools need the shape back. CompressField wraps the standard
+// stream with a small header carrying the dimensions; the payload is a
+// regular PFPL container, so any plain Decompress32/64 can still read it by
+// skipping the wrapper (see FieldPayload).
+
+const (
+	fieldMagic   = "PFLD"
+	maxFieldDims = 16
+)
+
+// CompressField32 compresses an n-dimensional single-precision grid,
+// recording dims in the stream. The product of dims must equal len(src).
+func CompressField32(src []float32, dims []int, opts Options) ([]byte, error) {
+	if err := checkDims(dims, len(src)); err != nil {
+		return nil, err
+	}
+	comp, err := Compress32(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapField(comp, dims), nil
+}
+
+// CompressField64 is the double-precision counterpart of CompressField32.
+func CompressField64(src []float64, dims []int, opts Options) ([]byte, error) {
+	if err := checkDims(dims, len(src)); err != nil {
+		return nil, err
+	}
+	comp, err := Compress64(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapField(comp, dims), nil
+}
+
+// DecompressField32 decodes a field stream, returning the values and dims.
+func DecompressField32(buf []byte, opts Options) ([]float32, []int, error) {
+	payload, dims, err := FieldPayload(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := Decompress32(payload, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkDims(dims, len(vals)); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	return vals, dims, nil
+}
+
+// DecompressField64 decodes a double-precision field stream.
+func DecompressField64(buf []byte, opts Options) ([]float64, []int, error) {
+	payload, dims, err := FieldPayload(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := Decompress64(payload, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkDims(dims, len(vals)); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	return vals, dims, nil
+}
+
+// FieldPayload strips the field wrapper, returning the embedded standard
+// PFPL stream and the recorded dimensions.
+func FieldPayload(buf []byte) (payload []byte, dims []int, err error) {
+	if len(buf) < 5 || string(buf[:4]) != fieldMagic {
+		return nil, nil, ErrCorrupt
+	}
+	nd := int(buf[4])
+	if nd == 0 || nd > maxFieldDims || len(buf) < 5+4*nd {
+		return nil, nil, ErrCorrupt
+	}
+	dims = make([]int, nd)
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint32(buf[5+4*i:]))
+		if dims[i] <= 0 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	return buf[5+4*nd:], dims, nil
+}
+
+func wrapField(comp []byte, dims []int) []byte {
+	out := make([]byte, 0, 5+4*len(dims)+len(comp))
+	out = append(out, fieldMagic...)
+	out = append(out, byte(len(dims)))
+	var b4 [4]byte
+	for _, d := range dims {
+		binary.LittleEndian.PutUint32(b4[:], uint32(d))
+		out = append(out, b4[:]...)
+	}
+	return append(out, comp...)
+}
+
+func checkDims(dims []int, n int) error {
+	if len(dims) == 0 || len(dims) > maxFieldDims {
+		return fmt.Errorf("pfpl: field must have 1..%d dimensions, got %d", maxFieldDims, len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("pfpl: non-positive dimension %d", d)
+		}
+		total *= d
+	}
+	if total != n {
+		return fmt.Errorf("pfpl: dims %v cover %d values, data has %d", dims, total, n)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package pfpl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFieldRoundtrip32(t *testing.T) {
+	dims := []int{4, 30, 50}
+	src := synth32(4*30*50, 60)
+	comp, err := CompressField32(src, dims, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, gotDims, err := DecompressField32(comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotDims) != 3 || gotDims[0] != 4 || gotDims[1] != 30 || gotDims[2] != 50 {
+		t.Fatalf("dims %v", gotDims)
+	}
+	if v := VerifyBound(src, vals, ABS, 1e-3); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+	// The embedded payload is a plain PFPL stream.
+	payload, dims2, err := FieldPayload(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims2) != 3 {
+		t.Fatalf("payload dims %v", dims2)
+	}
+	plain, err := Decompress32(payload, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float32bits(plain[i]) != math.Float32bits(vals[i]) {
+			t.Fatal("payload decode differs")
+		}
+	}
+}
+
+func TestFieldRoundtrip64(t *testing.T) {
+	src := synth64(600, 61)
+	comp, err := CompressField64(src, []int{20, 30}, Options{Mode: REL, Bound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, dims, err := DecompressField64(comp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != 20 || dims[1] != 30 {
+		t.Fatalf("dims %v", dims)
+	}
+	if v := VerifyBound64(src, vals, REL, 1e-2); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+func TestFieldValidation(t *testing.T) {
+	src := synth32(100, 62)
+	if _, err := CompressField32(src, []int{3, 33}, Options{Mode: ABS, Bound: 1e-3}); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	if _, err := CompressField32(src, nil, Options{Mode: ABS, Bound: 1e-3}); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := CompressField32(src, []int{-1, -100}, Options{Mode: ABS, Bound: 1e-3}); err == nil {
+		t.Error("negative dims accepted")
+	}
+	if _, _, err := DecompressField32([]byte("PFLDx"), Options{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A plain stream is not a field stream.
+	plain, _ := Compress32(src, Options{Mode: ABS, Bound: 1e-3})
+	if _, _, err := DecompressField32(plain, Options{}); err == nil {
+		t.Error("plain stream accepted as field")
+	}
+}

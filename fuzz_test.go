@@ -1,0 +1,48 @@
+package pfpl
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: decompression must never panic on arbitrary input, and
+// compress-decompress must always honor the bound on arbitrary values.
+
+func FuzzDecompress32(f *testing.F) {
+	seed, _ := Compress32([]float32{1, 2, 3, math.Pi}, Options{Mode: ABS, Bound: 1e-3})
+	f.Add(seed)
+	f.Add([]byte("PFPL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress32(data, nil, Options{})
+		_, _ = Decompress64(data, nil, Options{})
+		_, _ = DecompressRange32(data, 0, 4)
+		_, _ = Stat(data)
+	})
+}
+
+func FuzzCompressRoundtrip32(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, modeRaw uint8) {
+		mode := Mode(modeRaw % 3)
+		vals := make([]float32, len(raw)/4)
+		for i := range vals {
+			bits := uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+			vals[i] = math.Float32frombits(bits)
+		}
+		comp, err := Compress32(vals, Options{Mode: mode, Bound: 1e-3})
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		dec, err := Decompress32(comp, nil, Options{})
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("length %d != %d", len(dec), len(vals))
+		}
+		if v := VerifyBound(vals, dec, mode, 1e-3); v != 0 {
+			t.Fatalf("%d bound violations (mode %v)", v, mode)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module pfpl
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package cuszplike reimplements cuSZp, the ultra-fast GPU compressor the
+// paper compares against (§VI): the data is split into 32-value blocks,
+// pre-quantized to integers, delta-predicted within the block, and packed
+// with a per-block fixed-length encoding; all-zero blocks are skipped.
+//
+// Faithful behaviours preserved from the original:
+//   - The pre-quantization converts v/(2*eps) straight to a 32-bit integer
+//     with no range check, so large values or tight bounds overflow and
+//     silently corrupt the reconstruction — the error-bound violation
+//     mechanism the paper calls out ("cuSZp performs a pre-quantization of
+//     the floating-point data that may cause integer overflow", §I), which
+//     is why Table III marks its ABS support '○' and §V-D reports major
+//     violations on the double-precision inputs.
+//   - Decompression is lightweight fixed-length decoding, faster than
+//     compression (§V-B).
+//   - REL is not supported.
+package cuszplike
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"pfpl/internal/bits"
+	"pfpl/internal/core"
+)
+
+// Errors.
+var (
+	ErrUnsupported = errors.New("cuszplike: REL error bounds are not supported")
+	ErrCorrupt     = errors.New("cuszplike: corrupt stream")
+)
+
+const (
+	blockLen       = 32
+	cuMagic        = "CSZP"
+	maxDecodeElems = 1 << 28
+)
+
+type number interface {
+	float32 | float64
+}
+
+// prequant converts v to a quantization integer with cuSZp's unchecked
+// arithmetic: out-of-range products wrap through int32, deterministically.
+func prequant(v float64, recip float64) int32 {
+	f := v * recip
+	// Keep the conversion deterministic across platforms while preserving
+	// the wraparound artifact of the original CUDA code.
+	var q int64
+	switch {
+	case f >= 0x1p62:
+		q = 1 << 62
+	case f <= -0x1p62:
+		q = -(1 << 62)
+	case f >= 0:
+		q = int64(f + 0.5)
+	default:
+		q = int64(f - 0.5)
+	}
+	return int32(q) // wraps on overflow: the cuSZp violation mechanism
+}
+
+// Compress compresses src with an ABS or NOA bound.
+func Compress[T number](src []T, mode core.Mode, bound float64) ([]byte, error) {
+	if mode == core.REL {
+		return nil, ErrUnsupported
+	}
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return nil, core.ErrBadBound
+	}
+	eps := bound
+	var rng float64
+	if mode == core.NOA {
+		rng = rangeOf(src)
+		eps = bound * rng
+	}
+	if eps == 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		eps = math.SmallestNonzeroFloat64
+	}
+	recip := 0.5 / eps
+
+	var one T
+	prec := byte(0)
+	if _, is64 := any(one).(float64); is64 {
+		prec = 1
+	}
+	out := append([]byte(nil), cuMagic...)
+	out = append(out, prec, byte(mode))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(bound))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(rng))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(src)))
+	out = append(out, b8[:]...)
+
+	// Each block stores its first quantized value as an anchor (varint) and
+	// fixed-length-packs the in-block deltas at the block's maximum width.
+	w := bits.NewWriter(len(src))
+	var anchors []byte
+	var q [blockLen]uint32
+	for base := 0; base < len(src); base += blockLen {
+		n := min(blockLen, len(src)-base)
+		var maxBits int
+		first := prequant(float64(src[base]), recip)
+		anchors = binary.AppendVarint(anchors, int64(first))
+		prev := first
+		for i := 1; i < n; i++ {
+			qi := prequant(float64(src[base+i]), recip)
+			d := bits.ZigZag32(qi - prev)
+			prev = qi
+			q[i] = d
+			if b := bitsLen32(d); b > maxBits {
+				maxBits = b
+			}
+		}
+		w.WriteBits(uint64(maxBits), 6)
+		if maxBits == 0 {
+			continue // constant block: anchor only
+		}
+		for i := 1; i < n; i++ {
+			w.WriteBits(uint64(q[i]), uint(maxBits))
+		}
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(anchors)))
+	out = append(out, b4[:]...)
+	out = append(out, anchors...)
+	return append(out, w.Bytes()...), nil
+}
+
+func bitsLen32(v uint32) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress[T number](buf []byte) ([]T, error) {
+	if len(buf) < 6+24 {
+		return nil, ErrCorrupt
+	}
+	if string(buf[:4]) != cuMagic {
+		return nil, ErrCorrupt
+	}
+	prec := buf[4]
+	mode := core.Mode(buf[5])
+	var one T
+	_, is64 := any(one).(float64)
+	if (prec == 1) != is64 {
+		return nil, ErrCorrupt
+	}
+	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[6:]))
+	rng := math.Float64frombits(binary.LittleEndian.Uint64(buf[14:]))
+	count := int(binary.LittleEndian.Uint64(buf[22:]))
+	if count < 0 || count > maxDecodeElems {
+		return nil, ErrCorrupt
+	}
+	eps := bound
+	if mode == core.NOA {
+		eps = bound * rng
+	}
+	if eps == 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		eps = math.SmallestNonzeroFloat64
+	}
+	twoEps := eps + eps
+
+	body := buf[30:]
+	if len(body) < 4 {
+		return nil, ErrCorrupt
+	}
+	al := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if al < 0 || al > len(body) {
+		return nil, ErrCorrupt
+	}
+	anchors := body[:al]
+	out := make([]T, count)
+	r := bits.NewReader(body[al:])
+	for base := 0; base < count; base += blockLen {
+		n := min(blockLen, count-base)
+		first, used := binary.Varint(anchors)
+		if used <= 0 {
+			return nil, ErrCorrupt
+		}
+		anchors = anchors[used:]
+		mb, err := r.ReadBits(6)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		maxBits := int(mb)
+		if maxBits > 32 {
+			return nil, ErrCorrupt
+		}
+		prev := int32(first)
+		out[base] = T(float64(prev) * twoEps)
+		for i := 1; i < n; i++ {
+			var d uint32
+			if maxBits > 0 {
+				v, err := r.ReadBits(uint(maxBits))
+				if err != nil {
+					return nil, ErrCorrupt
+				}
+				d = uint32(v)
+			}
+			prev += bits.UnZigZag32(d)
+			out[base+i] = T(float64(prev) * twoEps)
+		}
+	}
+	return out, nil
+}
+
+func rangeOf[T number](src []T) float64 {
+	first := true
+	var mn, mx float64
+	for _, v := range src {
+		f := float64(v)
+		if f != f {
+			continue
+		}
+		if first {
+			mn, mx, first = f, f, false
+			continue
+		}
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	if first {
+		return 0
+	}
+	return mx - mn
+}

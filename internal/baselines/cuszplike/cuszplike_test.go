@@ -1,0 +1,160 @@
+package cuszplike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func smooth(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	return out
+}
+
+func TestABSRoundtrip(t *testing.T) {
+	src := smooth(100000)
+	for _, bound := range []float64{1e-2, 1e-4} {
+		comp, err := Compress(src, core.ABS, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// cuSZp does not verify values (Table III '○'): tolerate rare
+		// minor rounding excursions but require the bulk in bound and the
+		// worst case within the minor-violation band.
+		bad, worst := 0, 0.0
+		for i := range src {
+			d := math.Abs(float64(src[i]) - float64(dec[i]))
+			if d > bound {
+				bad++
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if frac := float64(bad) / float64(len(src)); frac > 0.01 {
+			t.Errorf("bound %g: violation fraction %g", bound, frac)
+		}
+		if worst > bound*1.5 {
+			t.Errorf("bound %g: worst error %g beyond minor band", bound, worst)
+		}
+		if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 3 {
+			t.Errorf("bound %g: ratio %.2f too low", bound, ratio)
+		}
+	}
+}
+
+func TestNOARoundtrip(t *testing.T) {
+	src := smooth(50000)
+	for i := range src {
+		src[i] *= 1000
+	}
+	comp, err := Compress(src, core.NOA, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rangeOf(src)
+	for i := range src {
+		if d := math.Abs(float64(src[i]) - float64(dec[i])); d > 1e-3*rng {
+			t.Fatalf("value %d error %g", i, d)
+		}
+	}
+}
+
+func TestPrequantOverflowViolatesBound(t *testing.T) {
+	// The cuSZp failure mode: huge values at tight bounds wrap in the
+	// integer pre-quantization and reconstruct wildly out of bound.
+	src := []float32{1e30, 2e30, -3e30, 4, 5}
+	bound := 1e-3
+	comp, err := Compress(src, core.ABS, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for i := range src {
+		if math.Abs(float64(src[i])-float64(dec[i])) > bound {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("expected integer-overflow violations on huge values")
+	}
+}
+
+func TestDoubleViolationsAtTightBounds(t *testing.T) {
+	// §V-D: major violations on double-precision inputs. Wide-range double
+	// data overflows the 32-bit quantizer.
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 10000)
+	for i := range src {
+		src[i] = rng.NormFloat64() * 1e8
+	}
+	bound := 1e-4
+	comp, err := Compress(src, core.ABS, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := range src {
+		if math.Abs(src[i]-dec[i]) > bound {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("expected overflow violations on wide-range doubles")
+	}
+}
+
+func TestRELUnsupported(t *testing.T) {
+	if _, err := Compress([]float32{1}, core.REL, 1e-2); err != ErrUnsupported {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestZeroBlocksAreCheap(t *testing.T) {
+	src := make([]float32, 1<<16)
+	comp, err := Compress(src, core.ABS, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 20 {
+		t.Errorf("all-zero ratio %.1f too low", ratio)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src := smooth(5000)
+	comp, _ := Compress(src, core.ABS, 1e-3)
+	if _, err := Decompress[float32](nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress[float64](comp); err == nil {
+		t.Error("wrong precision accepted")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress[float32](buf)
+	}
+}

@@ -1,0 +1,172 @@
+// Package fzgpulike reimplements FZ-GPU, the fused-kernel cuSZ variant the
+// paper compares against (§VI): quantization, delta prediction, a
+// warp-granularity bit shuffle, and zero-word suppression, all fused for
+// throughput at the cost of compression ratio.
+//
+// Faithful behaviours preserved from the original:
+//   - Only the NOA error-bound type and only single precision are supported
+//     (Table III), and the bound is not guaranteed: quantization overflows
+//     are unchecked, producing the minor violations §V-D reports.
+//   - The ratio sits below cuSZp's (the paper's comparison).
+package fzgpulike
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"pfpl/internal/bits"
+	"pfpl/internal/core"
+)
+
+// Errors.
+var (
+	ErrUnsupported = errors.New("fzgpulike: only NOA on single-precision data is supported")
+	ErrCorrupt     = errors.New("fzgpulike: corrupt stream")
+)
+
+const (
+	fzMagic        = "FZGP"
+	maxDecodeElems = 1 << 28
+)
+
+// Compress compresses float32 data with a NOA bound.
+func Compress(src []float32, mode core.Mode, bound float64) ([]byte, error) {
+	if mode != core.NOA {
+		return nil, ErrUnsupported
+	}
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return nil, core.ErrBadBound
+	}
+	rng := rangeOf(src)
+	eps := bound * rng
+	if eps == 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		eps = math.SmallestNonzeroFloat64
+	}
+	recip := 0.5 / eps
+
+	out := append([]byte(nil), fzMagic...)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(bound))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(rng))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(src)))
+	out = append(out, b8[:]...)
+
+	// Quantize + delta + zigzag into 32-word groups, bit-shuffle each
+	// group, then suppress zero words with a bitmap.
+	padded := (len(src) + 31) &^ 31
+	words := make([]uint32, padded)
+	prev := int32(0)
+	for i, v := range src {
+		f := float64(v) * recip
+		var q int64
+		switch {
+		case f >= 0x1p62:
+			q = 1 << 62
+		case f <= -0x1p62:
+			q = -(1 << 62)
+		case f >= 0:
+			q = int64(f + 0.5)
+		default:
+			q = int64(f - 0.5)
+		}
+		qi := int32(q) // unchecked wrap: FZ-GPU's violation mechanism
+		words[i] = bits.ZigZag32(qi - prev)
+		prev = qi
+	}
+	for g := 0; g+32 <= padded; g += 32 {
+		bits.Transpose32((*[32]uint32)(words[g : g+32]))
+	}
+	bitmap := make([]byte, (padded+7)/8)
+	var payload []byte
+	var b4 [4]byte
+	for i, w := range words {
+		if w != 0 {
+			bitmap[i>>3] |= 1 << uint(i&7)
+			binary.LittleEndian.PutUint32(b4[:], w)
+			payload = append(payload, b4[:]...)
+		}
+	}
+	out = append(out, bitmap...)
+	return append(out, payload...), nil
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress(buf []byte) ([]float32, error) {
+	if len(buf) < 4+24 {
+		return nil, ErrCorrupt
+	}
+	if string(buf[:4]) != fzMagic {
+		return nil, ErrCorrupt
+	}
+	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+	rng := math.Float64frombits(binary.LittleEndian.Uint64(buf[12:]))
+	count := int(binary.LittleEndian.Uint64(buf[20:]))
+	if count < 0 || count > maxDecodeElems {
+		return nil, ErrCorrupt
+	}
+	eps := bound * rng
+	if eps == 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		eps = math.SmallestNonzeroFloat64
+	}
+	twoEps := eps + eps
+
+	padded := (count + 31) &^ 31
+	bmLen := (padded + 7) / 8
+	body := buf[28:]
+	if len(body) < bmLen {
+		return nil, ErrCorrupt
+	}
+	bitmap := body[:bmLen]
+	payload := body[bmLen:]
+	words := make([]uint32, padded)
+	pos := 0
+	for i := range words {
+		if bitmap[i>>3]&(1<<uint(i&7)) != 0 {
+			if pos+4 > len(payload) {
+				return nil, ErrCorrupt
+			}
+			words[i] = binary.LittleEndian.Uint32(payload[pos:])
+			pos += 4
+		}
+	}
+	if pos != len(payload) {
+		return nil, ErrCorrupt
+	}
+	for g := 0; g+32 <= padded; g += 32 {
+		bits.Transpose32((*[32]uint32)(words[g : g+32]))
+	}
+	out := make([]float32, count)
+	prev := int32(0)
+	for i := range out {
+		prev += bits.UnZigZag32(words[i])
+		out[i] = float32(float64(prev) * twoEps)
+	}
+	return out, nil
+}
+
+func rangeOf(src []float32) float64 {
+	first := true
+	var mn, mx float32
+	for _, v := range src {
+		if v != v {
+			continue
+		}
+		if first {
+			mn, mx, first = v, v, false
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if first {
+		return 0
+	}
+	return float64(mx) - float64(mn)
+}

@@ -1,0 +1,83 @@
+package fzgpulike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func smooth(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(float64(i)*0.01) * 50)
+	}
+	return out
+}
+
+func TestNOARoundtrip(t *testing.T) {
+	src := smooth(80000)
+	for _, bound := range []float64{1e-1, 1e-3} {
+		comp, err := Compress(src, core.NOA, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rangeOf(src)
+		for i := range src {
+			if d := math.Abs(float64(src[i]) - float64(dec[i])); d > bound*rng {
+				t.Fatalf("bound %g: value %d error %g", bound, i, d)
+			}
+		}
+		if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 1.5 {
+			t.Errorf("bound %g: ratio %.2f too low", bound, ratio)
+		}
+	}
+}
+
+func TestOnlyNOASupported(t *testing.T) {
+	if _, err := Compress([]float32{1}, core.ABS, 1e-2); err != ErrUnsupported {
+		t.Errorf("ABS: got %v, want ErrUnsupported", err)
+	}
+	if _, err := Compress([]float32{1}, core.REL, 1e-2); err != ErrUnsupported {
+		t.Errorf("REL: got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestPartialGroupSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 1000} {
+		src := smooth(n)
+		comp, err := Compress(src, core.NOA, 1e-2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dec, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(dec) != n {
+			t.Fatalf("n=%d: got %d values", n, len(dec))
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src := smooth(5000)
+	comp, _ := Compress(src, core.NOA, 1e-2)
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress(comp[:20]); err == nil {
+		t.Error("truncation accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress(buf)
+	}
+}

@@ -1,0 +1,161 @@
+package mgardlike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func TestDecomposeRecomposeExactWithoutQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 4097} {
+		v := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			orig[i] = v[i]
+		}
+		levels := decompose(v)
+		recompose(v, levels)
+		for i := range v {
+			if math.Abs(v[i]-orig[i]) > 1e-12 {
+				t.Fatalf("n=%d: roundtrip error %g at %d", n, v[i]-orig[i], i)
+			}
+		}
+	}
+}
+
+func TestABSRoundtripMostlyInBound(t *testing.T) {
+	src := make([]float32, 65536)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.002))
+	}
+	bound := 1e-3
+	comp, err := Compress(src, core.ABS, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, worst := 0, 0.0
+	for i := range src {
+		d := math.Abs(float64(src[i]) - float64(dec[i]))
+		if d > bound {
+			bad++
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	// MGARD does not guarantee the bound: some violations are expected, but
+	// the bulk must be inside and the worst case within a modest multiple.
+	if frac := float64(bad) / float64(len(src)); frac > 0.2 {
+		t.Errorf("violation fraction %g too high", frac)
+	}
+	if worst > bound*20 {
+		t.Errorf("worst error %g too large for bound %g", worst, bound)
+	}
+	if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 3 {
+		t.Errorf("ratio %.2f too low on smooth data", ratio)
+	}
+}
+
+func TestViolationsOccurOnDouble(t *testing.T) {
+	// §V-B: MGARD-X has major error-bound violations on double-precision
+	// inputs. The accumulated recomposition error must exceed tight bounds
+	// for at least some values.
+	src := make([]float64, 1<<16)
+	for i := range src {
+		src[i] = math.Sin(float64(i)*0.002)*1e6 + math.Cos(float64(i)*0.1)
+	}
+	bound := 1e-4
+	comp, err := Compress(src, core.ABS, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := range src {
+		if math.Abs(src[i]-dec[i]) > bound {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("expected accumulated-error violations at a tight double-precision bound")
+	}
+}
+
+func TestNOARoundtrip(t *testing.T) {
+	src := make([]float32, 10000)
+	for i := range src {
+		src[i] = float32(math.Cos(float64(i)*0.01)) * 300
+	}
+	comp, err := Compress(src, core.NOA, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rangeOf(src)
+	bad := 0
+	for i := range src {
+		if math.Abs(float64(src[i])-float64(dec[i])) > 1e-2*rng {
+			bad++
+		}
+	}
+	if bad > len(src)/10 {
+		t.Errorf("%d NOA violations", bad)
+	}
+}
+
+func TestRELUnsupported(t *testing.T) {
+	if _, err := Compress([]float32{1}, core.REL, 1e-2); err != ErrUnsupported {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	comp, _ := Compress(src, core.ABS, 1e-2)
+	if _, err := Decompress[float32](nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress[float64](comp); err == nil {
+		t.Error("wrong precision accepted")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress[float32](buf)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		src := make([]float32, n)
+		comp, err := Compress(src, core.ABS, 1e-2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(dec) != n {
+			t.Fatalf("n=%d: got %d", n, len(dec))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package sperrlike reimplements SPERR, the wavelet compressor the paper
+// compares against (§VI): a multilevel lifting wavelet transform applied
+// recursively along each axis of a 3-D volume, uniform quantization of the
+// coefficients, entropy coding, and — SPERR's signature mechanism — an
+// outlier-correction pass that detects values still violating the bound
+// after an internal decode and stores quantized correction factors for
+// them.
+//
+// Faithful behaviours preserved from the original:
+//   - Only 3-D inputs and only the ABS error-bound type are supported (the
+//     paper evaluates SPERR-3D and excludes the non-3D suites for it).
+//   - The correction factors are themselves quantized, so residual
+//     floating-point rounding can leave rare, minor (<1.5x) violations —
+//     Table III's '○' and the §V-B note about the 1E-2 bound.
+//   - The compressed coefficients are entropy coded (the original uses
+//     ZSTD; this implementation uses the shared Huffman backend).
+package sperrlike
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"pfpl/internal/core"
+	"pfpl/internal/huffman"
+)
+
+// Errors.
+var (
+	ErrUnsupported = errors.New("sperrlike: only ABS bounds on 3-D data are supported")
+	ErrCorrupt     = errors.New("sperrlike: corrupt stream")
+)
+
+const (
+	spMagic        = "SPRR"
+	maxDecodeElems = 1 << 28
+)
+
+type number interface {
+	float32 | float64
+}
+
+// liftAxis applies one prediction-lifting step along the given axis of the
+// (nz, ny, nx) volume at the current dyadic level length. Odd slices become
+// residuals against the average of their even neighbors.
+func liftAxis(v []float64, nz, ny, nx int, axis, lz, ly, lx int, inverse bool) {
+	stride := [3]int{ny * nx, nx, 1}[axis]
+	length := [3]int{lz, ly, lx}[axis]
+	if length < 3 {
+		return
+	}
+	// Iterate over all lines along the axis within the active region: the
+	// axis coordinate is pinned to 0 and the other two range freely.
+	for z := 0; z < lz; z++ {
+		for y := 0; y < ly; y++ {
+			for x := 0; x < lx; x++ {
+				switch axis {
+				case 0:
+					if z != 0 {
+						continue
+					}
+				case 1:
+					if y != 0 {
+						continue
+					}
+				default:
+					if x != 0 {
+						continue
+					}
+				}
+				base := (z*ny+y)*nx + x
+				for i := 1; i < length; i += 2 {
+					var pred float64
+					lo := base + (i-1)*stride
+					if i+1 < length {
+						pred = (v[lo] + v[base+(i+1)*stride]) / 2
+					} else {
+						pred = v[lo]
+					}
+					p := base + i*stride
+					if inverse {
+						v[p] += pred
+					} else {
+						v[p] -= pred
+					}
+				}
+			}
+		}
+	}
+}
+
+// transform applies `levels` rounds of the lazy wavelet along each axis;
+// inverse reverses the exact order.
+func transform(v []float64, nz, ny, nx, levels int, inverse bool) {
+	type step struct{ lz, ly, lx, axis int }
+	var steps []step
+	lz, ly, lx := nz, ny, nx
+	for l := 0; l < levels; l++ {
+		for axis := 0; axis < 3; axis++ {
+			steps = append(steps, step{lz, ly, lx, axis})
+		}
+		lz = (lz + 1) / 2
+		ly = (ly + 1) / 2
+		lx = (lx + 1) / 2
+		if lz < 3 && ly < 3 && lx < 3 {
+			break
+		}
+	}
+	if !inverse {
+		for _, s := range steps {
+			liftAxis(v, nz, ny, nx, s.axis, s.lz, s.ly, s.lx, false)
+		}
+		return
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		s := steps[i]
+		liftAxis(v, nz, ny, nx, s.axis, s.lz, s.ly, s.lx, true)
+	}
+}
+
+// The lazy-wavelet levels and coefficient quantizer budget.
+const levels = 4
+
+// Compress compresses a 3-D volume with an ABS bound. dims must be
+// [nz, ny, nx].
+func Compress[T number](src []T, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+	if mode != core.ABS || len(dims) != 3 {
+		return nil, ErrUnsupported
+	}
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return nil, core.ErrBadBound
+	}
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	if nz*ny*nx != len(src) {
+		return nil, ErrUnsupported
+	}
+	// Coefficient quantizer: a fraction of the bound, since recomposition
+	// accumulates error across levels.
+	u := bound / 4
+	work := make([]float64, len(src))
+	for i, v := range src {
+		work[i] = float64(v)
+	}
+	transform(work, nz, ny, nx, levels, false)
+
+	// Quantize coefficients (large ones escape to an exact list).
+	syms := make([]uint16, len(work))
+	var escBits []byte
+	for i, c := range work {
+		codef := c / (2 * u)
+		if codef < 32700 && codef > -32700 {
+			code := int64(codef + math.Copysign(0.5, codef))
+			syms[i] = uint16(code + 32768)
+			work[i] = float64(code) * (2 * u)
+			continue
+		}
+		syms[i] = 0
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(c))
+		escBits = append(escBits, b8[:]...)
+		// Exact escape: contributes no quantization error.
+	}
+	// Internal decode for the correction pass.
+	transform(work, nz, ny, nx, levels, true)
+	type corr struct {
+		idx int
+		bin int64
+	}
+	var corrs []corr
+	for i := range src {
+		err := float64(src[i]) - work[i]
+		if err > bound || err < -bound {
+			f := err / bound
+			if f > 0x1p50 {
+				f = 0x1p50
+			}
+			if f < -0x1p50 {
+				f = -0x1p50
+			}
+			bin := int64(f + math.Copysign(0.5, f))
+			corrs = append(corrs, corr{i, bin})
+		}
+	}
+
+	var one T
+	prec := byte(0)
+	if _, is64 := any(one).(float64); is64 {
+		prec = 1
+	}
+	out := append([]byte(nil), spMagic...)
+	out = append(out, prec)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(bound))
+	out = append(out, b8[:]...)
+	for _, d := range dims {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(d))
+		out = append(out, b8[:4]...)
+	}
+	huff := huffman.Encode(syms)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(huff)))
+	out = append(out, b8[:4]...)
+	out = append(out, huff...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(escBits)))
+	out = append(out, b8[:4]...)
+	out = append(out, escBits...)
+	// Corrections: count, then (varint gap, zigzag varint bin).
+	var corrBuf []byte
+	prevIdx := 0
+	for _, c := range corrs {
+		corrBuf = binary.AppendUvarint(corrBuf, uint64(c.idx-prevIdx))
+		corrBuf = binary.AppendVarint(corrBuf, c.bin)
+		prevIdx = c.idx
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(corrs)))
+	out = append(out, b8[:4]...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(corrBuf)))
+	out = append(out, b8[:4]...)
+	out = append(out, corrBuf...)
+	return out, nil
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress[T number](buf []byte) ([]T, error) {
+	if len(buf) < 5+8+12+4 {
+		return nil, ErrCorrupt
+	}
+	if string(buf[:4]) != spMagic {
+		return nil, ErrCorrupt
+	}
+	prec := buf[4]
+	var one T
+	_, is64 := any(one).(float64)
+	if (prec == 1) != is64 {
+		return nil, ErrCorrupt
+	}
+	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[5:]))
+	nz := int(binary.LittleEndian.Uint32(buf[13:]))
+	ny := int(binary.LittleEndian.Uint32(buf[17:]))
+	nx := int(binary.LittleEndian.Uint32(buf[21:]))
+	count := nz * ny * nx
+	if nz <= 0 || ny <= 0 || nx <= 0 || count > maxDecodeElems {
+		return nil, ErrCorrupt
+	}
+	u := bound / 4
+	p := buf[25:]
+	if len(p) < 4 {
+		return nil, ErrCorrupt
+	}
+	hl := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if hl < 0 || hl > len(p) {
+		return nil, ErrCorrupt
+	}
+	huff := p[:hl]
+	p = p[hl:]
+	if len(p) < 4 {
+		return nil, ErrCorrupt
+	}
+	el := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if el < 0 || el > len(p) || el%8 != 0 {
+		return nil, ErrCorrupt
+	}
+	escBits := p[:el]
+	p = p[el:]
+	if len(p) < 8 {
+		return nil, ErrCorrupt
+	}
+	nCorr := int(binary.LittleEndian.Uint32(p))
+	cl := int(binary.LittleEndian.Uint32(p[4:]))
+	p = p[8:]
+	if cl < 0 || cl > len(p) || nCorr < 0 || nCorr > count {
+		return nil, ErrCorrupt
+	}
+	corrBuf := p[:cl]
+
+	syms, err := huffman.Decode(huff, count)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	work := make([]float64, count)
+	ei := 0
+	for i, s := range syms {
+		if s == 0 {
+			if ei+8 > len(escBits) {
+				return nil, ErrCorrupt
+			}
+			work[i] = math.Float64frombits(binary.LittleEndian.Uint64(escBits[ei:]))
+			ei += 8
+			continue
+		}
+		work[i] = float64(int64(s)-32768) * (2 * u)
+	}
+	transform(work, nz, ny, nx, levels, true)
+	// Apply corrections.
+	idx := 0
+	for k := 0; k < nCorr; k++ {
+		gap, used := binary.Uvarint(corrBuf)
+		if used <= 0 {
+			return nil, ErrCorrupt
+		}
+		corrBuf = corrBuf[used:]
+		bin, used := binary.Varint(corrBuf)
+		if used <= 0 {
+			return nil, ErrCorrupt
+		}
+		corrBuf = corrBuf[used:]
+		idx += int(gap)
+		if idx < 0 || idx >= count {
+			return nil, ErrCorrupt
+		}
+		work[idx] += float64(bin) * bound
+	}
+	out := make([]T, count)
+	for i, v := range work {
+		out[i] = T(v)
+	}
+	return out, nil
+}

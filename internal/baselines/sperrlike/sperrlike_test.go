@@ -1,0 +1,130 @@
+package sperrlike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func volume(nz, ny, nx int) ([]float32, []int) {
+	out := make([]float32, nz*ny*nx)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out[i] = float32(math.Sin(0.1*float64(x))*math.Cos(0.12*float64(y)) + 0.05*float64(z))
+				i++
+			}
+		}
+	}
+	return out, []int{nz, ny, nx}
+}
+
+func TestTransformInverseExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nz, ny, nx := 10, 12, 14
+	v := make([]float64, nz*ny*nx)
+	orig := make([]float64, len(v))
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		orig[i] = v[i]
+	}
+	transform(v, nz, ny, nx, levels, false)
+	transform(v, nz, ny, nx, levels, true)
+	for i := range v {
+		if math.Abs(v[i]-orig[i]) > 1e-12 {
+			t.Fatalf("roundtrip error %g at %d", v[i]-orig[i], i)
+		}
+	}
+}
+
+func TestABSRoundtripGuaranteedByCorrection(t *testing.T) {
+	src, dims := volume(16, 24, 24)
+	for _, bound := range []float64{1e-2, 1e-4} {
+		comp, err := Compress(src, dims, core.ABS, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad, worst := 0, 0.0
+		for i := range src {
+			d := math.Abs(float64(src[i]) - float64(dec[i]))
+			if d > bound {
+				bad++
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		// The correction pass catches violators; only minor (<1.5x)
+		// rounding excursions may remain (Table III's '○').
+		if frac := float64(bad) / float64(len(src)); frac > 0.01 {
+			t.Errorf("bound %g: violation fraction %g", bound, frac)
+		}
+		if worst > bound*1.5 {
+			t.Errorf("bound %g: worst error %g exceeds the minor-violation band", bound, worst)
+		}
+		if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 2 {
+			t.Errorf("bound %g: ratio %.2f too low", bound, ratio)
+		}
+	}
+}
+
+func TestDoubleRoundtrip(t *testing.T) {
+	nz, ny, nx := 12, 16, 16
+	src := make([]float64, nz*ny*nx)
+	for i := range src {
+		src[i] = math.Sin(float64(i)*0.003) * 100
+	}
+	comp, err := Compress(src, []int{nz, ny, nx}, core.ABS, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for i := range src {
+		if math.Abs(src[i]-dec[i]) > 1.5e-5 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d values beyond the minor-violation band", bad)
+	}
+}
+
+func TestOnly3DABSSupported(t *testing.T) {
+	if _, err := Compress([]float32{1, 2}, []int{2}, core.ABS, 1e-2); err != ErrUnsupported {
+		t.Errorf("1D: got %v", err)
+	}
+	if _, err := Compress([]float32{1}, []int{1, 1, 1}, core.REL, 1e-2); err != ErrUnsupported {
+		t.Errorf("REL: got %v", err)
+	}
+	if _, err := Compress([]float32{1}, []int{1, 1, 1}, core.NOA, 1e-2); err != ErrUnsupported {
+		t.Errorf("NOA: got %v", err)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src, dims := volume(8, 8, 8)
+	comp, _ := Compress(src, dims, core.ABS, 1e-2)
+	if _, err := Decompress[float32](nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress[float64](comp); err == nil {
+		t.Error("wrong precision accepted")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress[float32](buf)
+	}
+}

@@ -1,0 +1,675 @@
+package szlike
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+
+	"pfpl/internal/core"
+	"pfpl/internal/huffman"
+)
+
+// tableLog2 emulates SZ2's table-accelerated logarithm for the REL
+// pre-transform: the mantissa's log is read from a 2048-entry table, so the
+// transform carries up to ~2^-12 of log-domain error. At loose bounds this
+// is invisible; at tight bounds (1e-4) it exceeds the bound on some values —
+// the violation behaviour Table III reports for SZ2's REL mode.
+var logTable = func() [2048]float64 {
+	var t [2048]float64
+	for i := range t {
+		m := 1 + (float64(i)+0.5)/2048
+		t[i] = math.Log2(m)
+	}
+	return t
+}()
+
+func tableLog2(x float64) float64 {
+	bits := math.Float64bits(x)
+	e := int(bits>>52&0x7FF) - 1023
+	idx := int(bits >> 41 & 2047)
+	return float64(e) + logTable[idx]
+}
+
+// rangeOf returns max-min over finite values.
+func rangeOf[T number](src []T) float64 {
+	first := true
+	var mn, mx float64
+	for _, v := range src {
+		f := float64(v)
+		if f != f {
+			continue
+		}
+		if first {
+			mn, mx, first = f, f, false
+			continue
+		}
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	if first {
+		return 0
+	}
+	return mx - mn
+}
+
+// lorenzoPredict returns the Lorenzo prediction for flat index i given the
+// decoded context (SZ2's predictor, up to 3-D).
+func lorenzoPredict[T number](dec []T, i int, dims []int) float64 {
+	switch len(dims) {
+	case 2:
+		nx := dims[1]
+		x := i % nx
+		var a, b, c float64
+		if x > 0 {
+			a = float64(dec[i-1])
+		}
+		if i >= nx {
+			b = float64(dec[i-nx])
+		}
+		if x > 0 && i >= nx {
+			c = float64(dec[i-nx-1])
+		}
+		return a + b - c
+	case 3:
+		nx := dims[2]
+		nxy := dims[1] * dims[2]
+		x := i % nx
+		y := i / nx % dims[1]
+		var d [8]float64
+		get := func(ok bool, idx int) float64 {
+			if ok {
+				return float64(dec[idx])
+			}
+			return 0
+		}
+		d[1] = get(x > 0, i-1)
+		d[2] = get(y > 0, i-nx)
+		d[3] = get(i >= nxy, i-nxy)
+		d[4] = get(x > 0 && y > 0, i-nx-1)
+		d[5] = get(x > 0 && i >= nxy, i-nxy-1)
+		d[6] = get(y > 0 && i >= nxy, i-nxy-nx)
+		d[7] = get(x > 0 && y > 0 && i >= nxy, i-nxy-nx-1)
+		return d[1] + d[2] + d[3] - d[4] - d[5] - d[6] + d[7]
+	default:
+		if i > 0 {
+			return float64(dec[i-1])
+		}
+		return 0
+	}
+}
+
+// lorenzoPass runs the SZ2 prediction+quantization loop. visit is either
+// the encoder or the decoder step.
+func lorenzoPass[T number](n int, dims []int, dec []T, visit func(i int, pred float64) error) error {
+	for i := 0; i < n; i++ {
+		if err := visit(i, lorenzoPredict(dec, i, dims)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// interpPassDims runs the SZ3 predictor with dimension awareness: within
+// each row (the fastest-varying dimension) points are predicted by
+// hierarchical interpolation, and the coarse anchors are predicted
+// vertically from the previous decoded row — a compact stand-in for SZ3's
+// multidimensional interpolation that preserves its key property: far
+// better prediction than Lorenzo on smooth fields.
+func interpPassDims[T number](n int, dims []int, dec []T, visit func(i int, pred float64) error) error {
+	nx := 0
+	if len(dims) > 0 {
+		nx = dims[len(dims)-1]
+	}
+	if nx <= 1 || nx >= n {
+		return interpPass(n, dec, visit)
+	}
+	for rowStart := 0; rowStart < n; rowStart += nx {
+		rowLen := nx
+		if rowStart+rowLen > n {
+			rowLen = n - rowStart
+		}
+		vertical := rowStart >= nx
+		s := 1
+		for s*2 < rowLen && s < 16 {
+			s *= 2
+		}
+		// Coarse chain: 2-D Lorenzo over the chain grid when both a previous
+		// row and a horizontal predecessor exist, degrading to copy
+		// prediction at the edges.
+		for i := 0; i < rowLen; i += s {
+			var pred float64
+			switch {
+			case vertical && i >= s:
+				pred = float64(dec[rowStart+i-s]) + float64(dec[rowStart+i-nx]) - float64(dec[rowStart+i-nx-s])
+			case vertical:
+				pred = float64(dec[rowStart+i-nx])
+			case i >= s:
+				pred = float64(dec[rowStart+i-s])
+			}
+			if err := visit(rowStart+i, pred); err != nil {
+				return err
+			}
+		}
+		// Refinement levels: cubic interpolation from the decoded in-row
+		// neighbors (SZ3's interpolator), falling back to linear at edges.
+		for s >= 2 {
+			h := s / 2
+			for i := h; i < rowLen; i += s {
+				var pred float64
+				switch {
+				case vertical && i+h < rowLen:
+					// 2-D: the in-row midpoint corrected by the previous
+					// row's midpoint residual.
+					mid := (float64(dec[rowStart+i-h]) + float64(dec[rowStart+i+h])) / 2
+					upMid := (float64(dec[rowStart+i-h-nx]) + float64(dec[rowStart+i+h-nx])) / 2
+					pred = mid + float64(dec[rowStart+i-nx]) - upMid
+				case i-3*h >= 0 && i+3*h < rowLen:
+					pred = (-float64(dec[rowStart+i-3*h]) + 9*float64(dec[rowStart+i-h]) +
+						9*float64(dec[rowStart+i+h]) - float64(dec[rowStart+i+3*h])) / 16
+				case i+h < rowLen:
+					pred = (float64(dec[rowStart+i-h]) + float64(dec[rowStart+i+h])) / 2
+				default:
+					pred = float64(dec[rowStart+i-h])
+				}
+				if err := visit(rowStart+i, pred); err != nil {
+					return err
+				}
+			}
+			s = h
+		}
+	}
+	return nil
+}
+
+// interpPass is the 1-D hierarchical-interpolation order used when no grid
+// shape is available (and inside SZ3-OMP blocks, whose boundaries are what
+// cost that variant compression ratio): the coarsest chain first, then each
+// refinement level predicts midpoints from the two decoded neighbors.
+func interpPass[T number](n int, dec []T, visit func(i int, pred float64) error) error {
+	if n == 0 {
+		return nil
+	}
+	s := 1
+	for s*2 < n && s < 16 {
+		s *= 2
+	}
+	for i := 0; i < n; i += s {
+		var pred float64
+		if i >= s {
+			pred = float64(dec[i-s])
+		}
+		if err := visit(i, pred); err != nil {
+			return err
+		}
+	}
+	for s >= 2 {
+		h := s / 2
+		for i := h; i < n; i += s {
+			var pred float64
+			if i+h < n {
+				pred = (float64(dec[i-h]) + float64(dec[i+h])) / 2
+			} else {
+				pred = float64(dec[i-h])
+			}
+			if err := visit(i, pred); err != nil {
+				return err
+			}
+		}
+		s = h
+	}
+	return nil
+}
+
+func appendSection(out []byte, sec []byte) []byte {
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(sec)))
+	out = append(out, b4[:]...)
+	return append(out, sec...)
+}
+
+func takeSection(buf []byte) ([]byte, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 0 || n > len(buf) {
+		return nil, nil, ErrCorrupt
+	}
+	return buf[:n], buf[n:], nil
+}
+
+func serializeElems[T number](vals []T) []byte {
+	var one T
+	if _, is64 := any(one).(float64); is64 {
+		out := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(float64(v)))
+		}
+		return out
+	}
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+func deserializeElems[T number](buf []byte) ([]T, error) {
+	var one T
+	if _, is64 := any(one).(float64); is64 {
+		if len(buf)%8 != 0 {
+			return nil, ErrCorrupt
+		}
+		out := make([]T, len(buf)/8)
+		for i := range out {
+			out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+		return out, nil
+	}
+	if len(buf)%4 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]T, len(buf)/4)
+	for i := range out {
+		out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+	}
+	return out, nil
+}
+
+// compressBody runs prediction+quantization and serializes the sections.
+// For REL, src must already be the log-transformed data; the caller patches
+// the outlier section with the original values afterwards.
+func compressBody[T number](src []T, dims []int, variant Variant, eps float64, rel bool) []byte {
+	n := len(src)
+	q := newQuantState[T](n, eps)
+	q.neutralOutlierCtx = rel
+	visit := func(i int, pred float64) error {
+		q.encode(i, src[i], pred)
+		return nil
+	}
+	if variant == SZ2 {
+		_ = lorenzoPass(n, dims, q.decoded, visit)
+	} else {
+		_ = interpPassDims(n, dims, q.decoded, visit)
+	}
+	q.flushRun()
+	var body []byte
+	body = appendSection(body, huffman.Encode(q.syms))
+	body = appendSection(body, q.runLens)
+	body = appendSection(body, serializeElems(q.outliers))
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(q.syms)))
+	body = append(body, b4[:]...)
+	return body
+}
+
+// decompressBody reverses compressBody into out.
+func decompressBody[T number](body []byte, out []T, dims []int, variant Variant, eps float64, rel bool) error {
+	huffSec, rest, err := takeSection(body)
+	if err != nil {
+		return err
+	}
+	runSec, rest, err := takeSection(rest)
+	if err != nil {
+		return err
+	}
+	outSec, rest, err := takeSection(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 4 {
+		return ErrCorrupt
+	}
+	numSyms := int(binary.LittleEndian.Uint32(rest))
+	if numSyms < 0 || numSyms > len(out)+8 {
+		return ErrCorrupt
+	}
+	syms, err := huffman.Decode(huffSec, numSyms)
+	if err != nil {
+		return ErrCorrupt
+	}
+	outliers, err := deserializeElems[T](outSec)
+	if err != nil {
+		return err
+	}
+	d := &dequantState[T]{
+		twoEps: eps + eps, neutralOutlierCtx: rel, syms: syms, runLens: runSec,
+		outliers: outliers, ctx: make([]T, len(out)), out: out,
+	}
+	if variant == SZ2 {
+		return lorenzoPass(len(out), dims, d.ctx, d.next)
+	}
+	return interpPassDims(len(out), dims, d.ctx, d.next)
+}
+
+// Compress compresses src with the given variant, mode, and bound. dims
+// describes the grid shape ([]int{len} for 1-D data); the SZ2 Lorenzo
+// predictor exploits up to three dimensions.
+func Compress[T number](src []T, dims []int, mode core.Mode, bound float64, variant Variant) ([]byte, error) {
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return nil, core.ErrBadBound
+	}
+	if mode == core.REL && variant != SZ2 {
+		return nil, ErrUnsupported
+	}
+	if len(dims) == 0 {
+		dims = []int{len(src)}
+	}
+	var rng float64
+	eps := bound
+	switch mode {
+	case core.NOA:
+		rng = rangeOf(src)
+		eps = bound * rng
+	case core.REL:
+		eps = math.Log2(1 + bound)
+	}
+	out := putHeader[T](nil, variant, mode, bound, rng, len(src), dims)
+
+	if variant == SZ3OMP {
+		return compressOMP(out, src, mode, eps)
+	}
+
+	work := src
+	var signs []byte
+	if mode == core.REL {
+		work, signs = logTransform(src)
+	}
+	body := compressBody(work, dims, variant, eps, mode == core.REL)
+	if mode == core.REL {
+		// Patch: REL outliers must carry the original values. Rebuild the
+		// outlier section from the original data by replaying positions.
+		body = patchRelOutliers(body, src, work, dims, variant, eps)
+		body = appendSection(body, signs)
+	}
+	return append(out, body...), nil
+}
+
+// logTransform maps values to log2 magnitude via the table logarithm,
+// returning the transformed array and the sign bitmap. Non-finite and zero
+// values keep a placeholder NaN so the quantizer routes them to the outlier
+// list.
+func logTransform[T number](src []T) ([]T, []byte) {
+	out := make([]T, len(src))
+	signs := make([]byte, (len(src)+7)/8)
+	nan := math.NaN()
+	for i, v := range src {
+		f := float64(v)
+		if f < 0 {
+			signs[i>>3] |= 1 << uint(i&7)
+			f = -f
+		}
+		if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			out[i] = T(nan)
+			continue
+		}
+		out[i] = T(tableLog2(f))
+	}
+	return out, signs
+}
+
+// patchRelOutliers replaces the outlier section (which recorded logarithms
+// or NaN placeholders) with the original values at the same positions.
+func patchRelOutliers[T number](body []byte, src, work []T, dims []int, variant Variant, eps float64) []byte {
+	// Re-run the quantization to recover outlier positions.
+	n := len(src)
+	q := newQuantState[T](n, eps)
+	q.neutralOutlierCtx = true
+	var positions []int
+	visit := func(i int, pred float64) error {
+		before := len(q.outliers)
+		q.encode(i, work[i], pred)
+		if len(q.outliers) > before {
+			positions = append(positions, i)
+		}
+		return nil
+	}
+	if variant == SZ2 {
+		_ = lorenzoPass(n, dims, q.decoded, visit)
+	} else {
+		_ = interpPassDims(n, dims, q.decoded, visit)
+	}
+	orig := make([]T, len(positions))
+	for k, i := range positions {
+		orig[k] = src[i]
+	}
+	// Sections: huffman | runLens | outliers | numSyms.
+	huffSec, rest, err := takeSection(body)
+	if err != nil {
+		return body
+	}
+	runSec, rest, err := takeSection(rest)
+	if err != nil {
+		return body
+	}
+	_, rest, err = takeSection(rest)
+	if err != nil {
+		return body
+	}
+	var nb []byte
+	nb = appendSection(nb, huffSec)
+	nb = appendSection(nb, runSec)
+	nb = appendSection(nb, serializeElems(orig))
+	return append(nb, rest...)
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress[T number](buf []byte) ([]T, error) {
+	h, err := parseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	var one T
+	_, is64 := any(one).(float64)
+	if h.prec64 != is64 {
+		return nil, ErrCorrupt
+	}
+	eps := h.bound
+	switch h.mode {
+	case core.NOA:
+		eps = h.bound * h.rng
+	case core.REL:
+		eps = math.Log2(1 + h.bound)
+	}
+	out := make([]T, h.count)
+	if h.variant == SZ3OMP {
+		if err := decompressOMP(h.body, out, eps); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if h.mode == core.REL {
+		// Body ends with the signs section.
+		body := h.body
+		// The signs section is the 4th; walk three sections plus numSyms.
+		p := body
+		for k := 0; k < 3; k++ {
+			_, rest, err := takeSection(p)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+		}
+		if len(p) < 4 {
+			return nil, ErrCorrupt
+		}
+		p = p[4:]
+		signs, _, err := takeSection(p)
+		if err != nil {
+			return nil, err
+		}
+		logs := make([]T, h.count)
+		if err := decompressBody(body, logs, h.dims, h.variant, eps, true); err != nil {
+			return nil, err
+		}
+		if len(signs) < (h.count+7)/8 {
+			return nil, ErrCorrupt
+		}
+		// Outlier positions hold original values; quantized positions hold
+		// logarithms. Distinguish: a decoded NaN or any position whose
+		// exponentiation round-trips is ambiguous — instead replay is
+		// avoided by convention: outliers were stored as original values,
+		// so exponentiate only values the signs/magnitude mapping covers.
+		// The dequantizer wrote outliers verbatim; exponentiating them
+		// would corrupt them. We therefore re-run the symbol scan to know
+		// which positions were outliers.
+		outPos, err := relOutlierPositions[T](body, h, eps)
+		if err != nil {
+			return nil, err
+		}
+		isOut := make(map[int]bool, len(outPos))
+		for _, i := range outPos {
+			isOut[i] = true
+		}
+		for i := range out {
+			if isOut[i] {
+				out[i] = logs[i]
+				continue
+			}
+			m := math.Exp2(float64(logs[i]))
+			if signs[i>>3]&(1<<uint(i&7)) != 0 {
+				m = -m
+			}
+			out[i] = T(m)
+		}
+		return out, nil
+	}
+	if err := decompressBody(h.body, out, h.dims, h.variant, eps, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// relOutlierPositions replays the REL decode symbol stream to find which
+// indices came from the outlier list.
+func relOutlierPositions[T number](body []byte, h header, eps float64) ([]int, error) {
+	huffSec, rest, err := takeSection(body)
+	if err != nil {
+		return nil, err
+	}
+	runSec, rest, err := takeSection(rest)
+	if err != nil {
+		return nil, err
+	}
+	outSec, rest, err := takeSection(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrCorrupt
+	}
+	numSyms := int(binary.LittleEndian.Uint32(rest))
+	if numSyms < 0 || numSyms > h.count+8 {
+		return nil, ErrCorrupt
+	}
+	syms, err := huffman.Decode(huffSec, numSyms)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	_ = outSec
+	var positions []int
+	i := 0
+	rl := runSec
+	for _, s := range syms {
+		if i >= h.count {
+			break
+		}
+		switch s {
+		case symOutlier:
+			positions = append(positions, i)
+			i++
+		case symRun:
+			n, used := binary.Uvarint(rl)
+			if used <= 0 {
+				return nil, ErrCorrupt
+			}
+			rl = rl[used:]
+			i += int(n)
+		default:
+			i++
+		}
+	}
+	return positions, nil
+}
+
+// compressOMP splits the data into fixed blocks compressed independently in
+// parallel — the SZ3-OMP strategy, trading ratio for speed.
+func compressOMP[T number](hdr []byte, src []T, mode core.Mode, eps float64) ([]byte, error) {
+	nBlocks := (len(src) + ompBlock - 1) / ompBlock
+	bodies := make([][]byte, nBlocks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for b := 0; b < nBlocks; b++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lo := b * ompBlock
+			hi := lo + ompBlock
+			if hi > len(src) {
+				hi = len(src)
+			}
+			blockDims := []int{hi - lo}
+			bodies[b] = compressBody(src[lo:hi], blockDims, SZ3, eps, false)
+		}(b)
+	}
+	wg.Wait()
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(nBlocks))
+	out := append(hdr, b4[:]...)
+	for _, body := range bodies {
+		out = appendSection(out, body)
+	}
+	return out, nil
+}
+
+func decompressOMP[T number](body []byte, out []T, eps float64) error {
+	if len(body) < 4 {
+		return ErrCorrupt
+	}
+	nBlocks := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if nBlocks != (len(out)+ompBlock-1)/ompBlock && !(nBlocks == 0 && len(out) == 0) {
+		return ErrCorrupt
+	}
+	sections := make([][]byte, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		sec, rest, err := takeSection(body)
+		if err != nil {
+			return err
+		}
+		sections[b] = sec
+		body = rest
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nBlocks)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for b := 0; b < nBlocks; b++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lo := b * ompBlock
+			hi := lo + ompBlock
+			if hi > len(out) {
+				hi = len(out)
+			}
+			errs[b] = decompressBody(sections[b], out[lo:hi], []int{hi - lo}, SZ3, eps, false)
+		}(b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

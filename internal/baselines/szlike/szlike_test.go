@@ -1,0 +1,260 @@
+package szlike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func field3D(nz, ny, nx int, seed int64) ([]float32, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	a := rng.Float64()
+	out := make([]float32, nz*ny*nx)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out[i] = float32(math.Sin(float64(x)*0.05+a) * math.Cos(float64(y)*0.07) * (1 + 0.1*float64(z)))
+				i++
+			}
+		}
+	}
+	return out, []int{nz, ny, nx}
+}
+
+func TestABSRoundtripAllVariants(t *testing.T) {
+	src, dims := field3D(8, 40, 50, 1)
+	for _, v := range []Variant{SZ2, SZ3, SZ3OMP} {
+		for _, bound := range []float64{1e-2, 1e-4} {
+			comp, err := Compress(src, dims, core.ABS, bound, v)
+			if err != nil {
+				t.Fatalf("%v: %v", v, err)
+			}
+			dec, err := Decompress[float32](comp)
+			if err != nil {
+				t.Fatalf("%v: %v", v, err)
+			}
+			if len(dec) != len(src) {
+				t.Fatalf("%v: got %d values", v, len(dec))
+			}
+			for i := range src {
+				if d := math.Abs(float64(src[i]) - float64(dec[i])); d > bound {
+					t.Fatalf("%v bound %g: value %d error %g", v, bound, i, d)
+				}
+			}
+			ratio := float64(len(src)*4) / float64(len(comp))
+			if ratio < 2 {
+				t.Errorf("%v bound %g: ratio %.2f too low for smooth data", v, bound, ratio)
+			}
+		}
+	}
+}
+
+func TestNOARoundtrip(t *testing.T) {
+	src, dims := field3D(4, 30, 30, 2)
+	for i := range src {
+		src[i] *= 500 // widen the range so NOA != ABS
+	}
+	comp, err := Compress(src, dims, core.NOA, 1e-3, SZ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rangeOf(src)
+	for i := range src {
+		if d := math.Abs(float64(src[i]) - float64(dec[i])); d > 1e-3*rng {
+			t.Fatalf("value %d error %g exceeds %g", i, d, 1e-3*rng)
+		}
+	}
+}
+
+func TestSZ3CompressesBetterThanSZ2(t *testing.T) {
+	// The paper's core SZ3-vs-SZ2 property on smooth data.
+	src := make([]float32, 1<<17)
+	for i := range src {
+		x := float64(i) * 0.0005
+		src[i] = float32(math.Sin(x) + 0.5*math.Sin(3.7*x))
+	}
+	dims := []int{len(src)}
+	c2, err := Compress(src, dims, core.ABS, 1e-3, SZ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Compress(src, dims, core.ABS, 1e-3, SZ3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3) >= len(c2) {
+		t.Errorf("SZ3 (%d bytes) not better than SZ2 (%d bytes)", len(c3), len(c2))
+	}
+}
+
+func TestSZ3OMPCompressesLessThanSerial(t *testing.T) {
+	src := make([]float32, 1<<18)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	dims := []int{len(src)}
+	ser, err := Compress(src, dims, core.ABS, 1e-3, SZ3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := Compress(src, dims, core.ABS, 1e-3, SZ3OMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(omp) <= len(ser) {
+		t.Errorf("SZ3-OMP (%d) should compress less than serial (%d)", len(omp), len(ser))
+	}
+	dec, err := Decompress[float32](omp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if d := math.Abs(float64(src[i]) - float64(dec[i])); d > 1e-3 {
+			t.Fatalf("OMP value %d error %g", i, d)
+		}
+	}
+}
+
+func TestRELRoundtripAndViolations(t *testing.T) {
+	// Wide-dynamic-range data: REL must mostly hold, but SZ2's table-log
+	// transform genuinely violates the bound for some values at tight
+	// bounds — the Table III behaviour this baseline must reproduce.
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float32, 200000)
+	for i := range src {
+		mag := math.Exp(rng.Float64()*40 - 20)
+		if rng.Float64() < 0.5 {
+			mag = -mag
+		}
+		src[i] = float32(mag)
+	}
+	src[0], src[1] = 0, float32(math.Copysign(0, -1))
+
+	for _, bound := range []float64{1e-1, 1e-4} {
+		comp, err := Compress(src, []int{len(src)}, core.REL, bound, SZ2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations := 0
+		for i := range src {
+			v, r := float64(src[i]), float64(dec[i])
+			if v == 0 {
+				if r != 0 {
+					violations++
+				}
+				continue
+			}
+			if e := math.Abs(v-r) / math.Abs(v); !(e <= bound) {
+				violations++
+			}
+		}
+		frac := float64(violations) / float64(len(src))
+		if bound == 1e-1 && frac > 0.01 {
+			t.Errorf("bound %g: violation fraction %g too high", bound, frac)
+		}
+		if bound == 1e-4 && violations == 0 {
+			t.Errorf("bound %g: expected the table-log transform to violate on some values", bound)
+		}
+		if bound == 1e-4 && frac > 0.9 {
+			t.Errorf("bound %g: nearly everything violates (%g) — transform broken", bound, frac)
+		}
+	}
+}
+
+func TestRELUnsupportedOnSZ3(t *testing.T) {
+	src := []float32{1, 2, 3}
+	if _, err := Compress(src, nil, core.REL, 1e-2, SZ3); err != ErrUnsupported {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+	if _, err := Compress(src, nil, core.REL, 1e-2, SZ3OMP); err != ErrUnsupported {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestDouble(t *testing.T) {
+	src := make([]float64, 50000)
+	for i := range src {
+		src[i] = math.Sin(float64(i)*0.001) * 100
+	}
+	for _, v := range []Variant{SZ2, SZ3, SZ3OMP} {
+		comp, err := Compress(src, nil, core.ABS, 1e-6, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float64](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if d := math.Abs(src[i] - dec[i]); d > 1e-6 {
+				t.Fatalf("%v: value %d error %g", v, i, d)
+			}
+		}
+	}
+}
+
+func TestOutlierHeavyData(t *testing.T) {
+	// Pure noise at a tight bound: nearly everything is an outlier; the
+	// stream must still round-trip exactly at those positions.
+	rng := rand.New(rand.NewSource(4))
+	src := make([]float32, 20000)
+	for i := range src {
+		src[i] = math.Float32frombits(rng.Uint32()&0x807FFFFF | uint32(180+rng.Intn(60))<<23)
+	}
+	comp, err := Compress(src, nil, core.ABS, 1e-30+2.3e-38, SZ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(src[i]) != math.Float32bits(dec[i]) {
+			t.Fatalf("outlier %d not bit-exact", i)
+		}
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	src, dims := field3D(2, 10, 10, 5)
+	comp, err := Compress(src, dims, core.ABS, 1e-3, SZ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress[float32](nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress[float32](comp[:7]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decompress[float64](comp); err == nil {
+		t.Error("wrong precision accepted")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress[float32](buf) // must not panic
+	}
+}
+
+func TestBadBound(t *testing.T) {
+	src := []float32{1, 2}
+	for _, b := range []float64{0, -1, math.Inf(1)} {
+		if _, err := Compress(src, nil, core.ABS, b, SZ2); err == nil {
+			t.Errorf("bound %g accepted", b)
+		}
+	}
+}

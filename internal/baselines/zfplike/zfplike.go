@@ -1,0 +1,218 @@
+// Package zfplike reimplements the ZFP transform-based compressor the paper
+// compares against (§VI): values are gathered into 4^d blocks, aligned to a
+// per-block common exponent (block floating point), decorrelated with ZFP's
+// integer lifting transform, converted to negabinary, and encoded by bit
+// planes from most to least significant with a precision chosen from the
+// error bound.
+//
+// Faithful behaviours preserved from the original:
+//   - ABS error bounds are honored only through the plane-count heuristic —
+//     there is no per-value verification — so the bound is usually
+//     over-preserved but occasionally violated (Table III's '○').
+//   - REL bounds are implemented by keeping a fixed number of significant
+//     bit planes (bit truncation), ZFP's mechanism; specific REL targets are
+//     matched only approximately (§IV's discussion).
+//   - NOA is not supported.
+package zfplike
+
+import (
+	"errors"
+	"math"
+
+	"pfpl/internal/core"
+)
+
+// Errors.
+var (
+	ErrUnsupported = errors.New("zfplike: NOA error bounds are not supported")
+	ErrCorrupt     = errors.New("zfplike: corrupt stream")
+)
+
+const zfpMagic = "ZFPL"
+
+// maxDecodeElems bounds header-declared allocations.
+const maxDecodeElems = 1 << 28
+
+type number interface {
+	float32 | float64
+}
+
+// qbits is the fixed-point precision of the block transform. The lifting
+// transform can grow coefficients by up to 2 bits per dimension; 6 guard
+// bits on top of the 52-bit significand budget keep int64 exact.
+func qbitsFor[T number]() int {
+	var one T
+	if _, is64 := any(one).(float64); is64 {
+		return 52
+	}
+	return 28
+}
+
+// fwdLift is ZFP's forward 4-point lifting transform (integer, exact).
+func fwdLift(p []int64, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift exactly.
+func invLift(p []int64, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// blockDim returns the block geometry for the data dimensionality (1, 2, or
+// 3 axes of 4).
+func blockDim(nd int) (dim int, size int) {
+	switch {
+	case nd >= 3:
+		return 3, 64
+	case nd == 2:
+		return 2, 16
+	default:
+		return 1, 4
+	}
+}
+
+// transformForward applies the lifting along each axis of the block.
+func transformForward(blk []int64, d int) {
+	switch d {
+	case 1:
+		fwdLift(blk, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift(blk[y*4:], 1)
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift(blk[x:], 4)
+		}
+	default:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(blk[z*16+y*4:], 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk[z*16+x:], 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk[y*4+x:], 16)
+			}
+		}
+	}
+}
+
+func transformInverse(blk []int64, d int) {
+	switch d {
+	case 1:
+		invLift(blk, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(blk[x:], 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(blk[y*4:], 1)
+		}
+	default:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk[y*4+x:], 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk[z*16+x:], 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(blk[z*16+y*4:], 1)
+			}
+		}
+	}
+}
+
+// exponent returns the unbiased binary exponent of |v| (floor(log2|v|)).
+func exponent(v float64) int {
+	f := math.Abs(v)
+	e := int(math.Float64bits(f)>>52&0x7FF) - 1023
+	if math.Float64bits(f)&0x7FF0000000000000 == 0 {
+		// Denormal: normalize.
+		_, ee := math.Frexp(f)
+		e = ee - 1
+	}
+	return e
+}
+
+// planesToKeep returns how many top bit planes survive for the mode/bound.
+// For ABS the count derives from the block exponent and the bound (with the
+// deliberately optimistic -d adjustment that reproduces ZFP's occasional
+// violations); for REL it is a fixed significant-bit budget.
+func planesToKeep(mode core.Mode, bound float64, emax, qb, d, totalPlanes int) int {
+	switch mode {
+	case core.ABS:
+		// One fixed-point unit is worth 2^(emax+1-qb); dropping p planes
+		// leaves error < 2^p units, amplified by the inverse transform and
+		// by the transform pair's own low-bit rounding (the fwd/inv lifts
+		// are only approximately inverse). The d+2 guard planes absorb
+		// most of that, but — like the real ZFP — there is no per-value
+		// verification, so rare violations remain possible.
+		unitLog := emax + 1 - qb
+		pl := int(math.Floor(math.Log2(bound))) - unitLog - (d + 2)
+		keep := totalPlanes - pl
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > totalPlanes {
+			keep = totalPlanes
+		}
+		return keep
+	default:
+		// REL: truncation to a fixed number of significant bit planes below
+		// the block's leading coefficient plane (which sits near qb-1 after
+		// block-floating-point alignment).
+		sig := int(math.Ceil(-math.Log2(bound))) + 2
+		if sig < 1 {
+			sig = 1
+		}
+		cut := qb - 1 - sig
+		keep := totalPlanes - cut
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > totalPlanes {
+			keep = totalPlanes
+		}
+		return keep
+	}
+}

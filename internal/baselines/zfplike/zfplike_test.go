@@ -1,0 +1,276 @@
+package zfplike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfpl/internal/core"
+)
+
+func TestLiftInverseApprox(t *testing.T) {
+	// ZFP's fwd/inv lifts are only approximately inverse: the >>1 scaling
+	// loses low bits that the qbits guard planes absorb. The roundtrip
+	// error must stay within a few units.
+	f := func(a, b, c, d int32) bool {
+		p := []int64{int64(a), int64(b), int64(c), int64(d)}
+		orig := append([]int64(nil), p...)
+		fwdLift(p, 1)
+		invLift(p, 1)
+		for i := range p {
+			diff := p[i] - orig[i]
+			if diff < -8 || diff > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformInverse3DApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		blk := make([]int64, 64)
+		orig := make([]int64, 64)
+		for i := range blk {
+			blk[i] = int64(rng.Int31())
+			orig[i] = blk[i]
+		}
+		transformForward(blk, 3)
+		transformInverse(blk, 3)
+		for i := range blk {
+			diff := blk[i] - orig[i]
+			if diff < -64 || diff > 64 {
+				t.Fatalf("3D transform roundtrip error %d at %d", diff, i)
+			}
+		}
+	}
+}
+
+func field3D(nz, ny, nx int, seed int64) ([]float32, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	a := rng.Float64()
+	out := make([]float32, nz*ny*nx)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out[i] = float32(math.Sin(float64(x)*0.1+a)*math.Cos(float64(y)*0.13) + 0.01*float64(z))
+				i++
+			}
+		}
+	}
+	return out, []int{nz, ny, nx}
+}
+
+func TestABSRoundtrip3D(t *testing.T) {
+	src, dims := field3D(10, 30, 30, 1)
+	for _, bound := range []float64{1e-1, 1e-3} {
+		comp, err := Compress(src, dims, core.ABS, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(src) {
+			t.Fatalf("got %d values", len(dec))
+		}
+		// ZFP does not verify per value; allow rare small excursions but
+		// insist the overwhelming majority is inside the bound and the
+		// worst case is within a small factor (Table III's '○').
+		bad, worst := 0, 0.0
+		for i := range src {
+			d := math.Abs(float64(src[i]) - float64(dec[i]))
+			if d > bound {
+				bad++
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if frac := float64(bad) / float64(len(src)); frac > 0.02 {
+			t.Errorf("bound %g: %f of values out of bound", bound, frac)
+		}
+		if worst > bound*8 {
+			t.Errorf("bound %g: worst error %g too large", bound, worst)
+		}
+		if ratio := float64(len(src)*4) / float64(len(comp)); ratio < 2 {
+			t.Errorf("bound %g: ratio %.2f too low", bound, ratio)
+		}
+	}
+}
+
+func TestRoundtrip1D2D(t *testing.T) {
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	for _, dims := range [][]int{{1000}, {20, 50}} {
+		comp, err := Compress(src, dims, core.ABS, 1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float32](comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := 0
+		for i := range src {
+			if math.Abs(float64(src[i])-float64(dec[i])) > 1e-2 {
+				bad++
+			}
+		}
+		if bad > len(src)/50 {
+			t.Errorf("dims %v: %d values out of bound", dims, bad)
+		}
+	}
+}
+
+func TestDoubleRoundtrip(t *testing.T) {
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = math.Cos(float64(i)*0.02) * 1000
+	}
+	comp, err := Compress(src, []int{16, 16, 16}, core.ABS, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for i := range src {
+		if math.Abs(src[i]-dec[i]) > 1e-4 {
+			bad++
+		}
+	}
+	if bad > len(src)/50 {
+		t.Errorf("%d values out of bound", bad)
+	}
+}
+
+func TestRELTruncation(t *testing.T) {
+	// Magnitude varies smoothly in 3-D space so block-local exponents track
+	// the values — the regime where ZFP's truncation approximates REL.
+	src := make([]float32, 4096)
+	for z := 0; z < 16; z++ {
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				m := math.Exp(2 * math.Sin(0.08*float64(x)+0.06*float64(y)+0.05*float64(z)))
+				src[(z*16+y)*16+x] = float32(m)
+			}
+		}
+	}
+	comp, err := Compress(src, []int{16, 16, 16}, core.REL, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation-based REL: most values within a small multiple of the
+	// bound (ZFP "does not conform ... due to its different bounding
+	// technique", §V-C).
+	ok := 0
+	for i := range src {
+		e := math.Abs(float64(src[i])-float64(dec[i])) / math.Abs(float64(src[i]))
+		if e <= 1e-1 {
+			ok++
+		}
+	}
+	if float64(ok)/float64(len(src)) < 0.95 {
+		t.Errorf("only %d/%d within 10x of the requested REL bound", ok, len(src))
+	}
+}
+
+func TestNOAUnsupported(t *testing.T) {
+	if _, err := Compress([]float32{1}, nil, core.NOA, 1e-2); err != ErrUnsupported {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestZeroBlocksCheap(t *testing.T) {
+	src := make([]float32, 64*64)
+	comp, err := Compress(src, []int{64, 64}, core.ABS, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > 200 {
+		t.Errorf("all-zero input compressed to %d bytes", len(comp))
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("value %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestNonFiniteRawBlocks(t *testing.T) {
+	src := make([]float32, 256)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	src[10] = float32(math.NaN())
+	src[200] = float32(math.Inf(-1))
+	comp, err := Compress(src, []int{256}, core.ABS, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(dec[10])) {
+		t.Error("NaN lost")
+	}
+	if !math.IsInf(float64(dec[200]), -1) {
+		t.Error("-Inf lost")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src, dims := field3D(4, 8, 8, 3)
+	comp, _ := Compress(src, dims, core.ABS, 1e-2)
+	if _, err := Decompress[float32](nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decompress[float64](comp); err == nil {
+		t.Error("wrong precision accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), comp...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decompress[float32](buf)
+	}
+}
+
+func TestHigherDimsCollapse(t *testing.T) {
+	src := make([]float32, 2*3*8*8)
+	for i := range src {
+		src[i] = float32(i % 7)
+	}
+	comp, err := Compress(src, []int{2, 3, 8, 8}, core.ABS, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(src) {
+		t.Fatalf("got %d values, want %d", len(dec), len(src))
+	}
+}

@@ -1,0 +1,96 @@
+// Package bits provides the low-level bit manipulation primitives shared by
+// the PFPL pipeline stages and the baseline compressors: negabinary (base -2)
+// conversion, zigzag coding, square bit-matrix transposition (the "bit
+// shuffle" of PFPL's second lossless stage), and bit-granular stream
+// readers/writers.
+//
+// All operations here are pure integer manipulations and therefore produce
+// identical results on every platform, which is a prerequisite for PFPL's
+// bit-for-bit CPU/GPU compatibility guarantee.
+package bits
+
+// negabinary masks: the bit pattern 1010...10 selects the digit positions
+// whose place value is negative in base -2.
+const (
+	negaMask32 = 0xAAAAAAAA
+	negaMask64 = 0xAAAAAAAAAAAAAAAA
+)
+
+// ToNegabinary32 converts a two's-complement 32-bit value (carried in a
+// uint32) to its base -2 representation. Values of small magnitude, positive
+// or negative, map to words with many leading zero bits, which the later
+// PFPL stages exploit.
+func ToNegabinary32(x uint32) uint32 {
+	return (x + negaMask32) ^ negaMask32
+}
+
+// FromNegabinary32 inverts ToNegabinary32.
+func FromNegabinary32(x uint32) uint32 {
+	return (x ^ negaMask32) - negaMask32
+}
+
+// ToNegabinary64 converts a two's-complement 64-bit value (carried in a
+// uint64) to its base -2 representation.
+func ToNegabinary64(x uint64) uint64 {
+	return (x + negaMask64) ^ negaMask64
+}
+
+// FromNegabinary64 inverts ToNegabinary64.
+func FromNegabinary64(x uint64) uint64 {
+	return (x ^ negaMask64) - negaMask64
+}
+
+// ZigZag32 maps a signed value to an unsigned one such that values of small
+// magnitude map to small codes: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+func ZigZag32(x int32) uint32 {
+	return uint32((x << 1) ^ (x >> 31))
+}
+
+// UnZigZag32 inverts ZigZag32.
+func UnZigZag32(x uint32) int32 {
+	return int32(x>>1) ^ -int32(x&1)
+}
+
+// ZigZag64 maps a signed 64-bit value to an unsigned one with small codes
+// for small magnitudes.
+func ZigZag64(x int64) uint64 {
+	return uint64((x << 1) ^ (x >> 63))
+}
+
+// UnZigZag64 inverts ZigZag64.
+func UnZigZag64(x uint64) int64 {
+	return int64(x>>1) ^ -int64(x&1)
+}
+
+// Transpose32 transposes the 32x32 bit matrix held in a, where word i is row
+// i and bit j (bit 0 = least significant) is column j. After the call, bit j
+// of word i equals the former bit i of word j. The operation is an
+// involution: applying it twice restores the input.
+//
+// This is PFPL's warp-granularity bit shuffle: on the GPU each warp of 32
+// threads performs the same exchange with warp shuffle instructions.
+func Transpose32(a *[32]uint32) {
+	m := uint32(0x0000FFFF)
+	for j := 16; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 32; k = (k + j + 1) &^ j {
+			// Swap the top-right block (high bits of the low rows) with the
+			// bottom-left block (low bits of the high rows).
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}
+
+// Transpose64 transposes the 64x64 bit matrix held in a, the double-precision
+// counterpart of Transpose32. It is likewise an involution.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStreamEnd is returned by Reader when a read runs past the end of the
+// underlying buffer.
+var ErrStreamEnd = errors.New("bits: read past end of stream")
+
+// Writer accumulates a bit stream least-significant-bit first into a byte
+// slice. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // number of valid bits in acc
+}
+
+// NewWriter returns a Writer whose output buffer has the given initial
+// capacity in bytes.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// WriteBits appends the n low bits of v to the stream, n in [0, 57].
+// Wider writes must be split by the caller.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 57 {
+		panic(fmt.Sprintf("bits: WriteBits width %d > 57", n))
+	}
+	w.acc |= (v & (1<<n - 1)) << w.nacc
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteUint64 appends all 64 bits of v.
+func (w *Writer) WriteUint64(v uint64) {
+	w.WriteBits(v&0xFFFFFFFF, 32)
+	w.WriteBits(v>>32, 32)
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.nacc)
+}
+
+// Bytes flushes any partial byte (zero padded) and returns the accumulated
+// buffer. The Writer remains usable; further writes continue from the padded
+// boundary only if nacc was zero, so callers should treat Bytes as final.
+func (w *Writer) Bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// Reader consumes a bit stream produced by Writer, least-significant-bit
+// first.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	acc  uint64
+	nacc uint
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBits reads n bits, n in [0, 57].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 57 {
+		panic(fmt.Sprintf("bits: ReadBits width %d > 57", n))
+	}
+	for r.nacc < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrStreamEnd
+		}
+		r.acc |= uint64(r.buf[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+	v := r.acc & (1<<n - 1)
+	r.acc >>= n
+	r.nacc -= n
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadUint64 reads 64 bits.
+func (r *Reader) ReadUint64() (uint64, error) {
+	lo, err := r.ReadBits(32)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := r.ReadBits(32)
+	if err != nil {
+		return 0, err
+	}
+	return lo | hi<<32, nil
+}

@@ -1,0 +1,118 @@
+package bits
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamRoundtripMixedWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type item struct {
+		v uint64
+		n uint
+	}
+	items := make([]item, 10000)
+	w := NewWriter(64)
+	for i := range items {
+		n := uint(rng.Intn(58))
+		v := rng.Uint64() & (1<<n - 1)
+		items[i] = item{v, n}
+		w.WriteBits(v, n)
+	}
+	bitLen := w.BitLen()
+	buf := w.Bytes()
+	if (bitLen+7)/8 != len(buf) {
+		t.Fatalf("BitLen %d inconsistent with %d bytes", bitLen, len(buf))
+	}
+	r := NewReader(buf)
+	for i, it := range items {
+		got, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %d, want %d (width %d)", i, got, it.v, it.n)
+		}
+	}
+}
+
+func TestStreamSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamUint64(t *testing.T) {
+	w := NewWriter(16)
+	vals := []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEF00D}
+	for _, v := range vals {
+		w.WriteUint64(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadUint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestStreamEndDetected(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0x5, 3)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	// The padding byte has 5 more bits; past that is an error.
+	if _, err := r.ReadBits(6); !errors.Is(err, ErrStreamEnd) {
+		t.Fatalf("got %v, want ErrStreamEnd", err)
+	}
+	if _, err := NewReader(nil).ReadBit(); !errors.Is(err, ErrStreamEnd) {
+		t.Fatal("empty reader did not report end")
+	}
+}
+
+func TestStreamWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits(58+) did not panic")
+		}
+	}()
+	NewWriter(1).WriteBits(0, 58)
+}
+
+func TestReadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadBits(58+) did not panic")
+		}
+	}()
+	_, _ = NewReader([]byte{1}).ReadBits(58)
+}
+
+func TestWriteBitsMasksValue(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(^uint64(0), 4) // only the low 4 bits must land
+	w.WriteBits(0, 4)
+	buf := w.Bytes()
+	if buf[0] != 0x0F {
+		t.Fatalf("got %#x, want 0x0F", buf[0])
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func benchWords(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(1000 + 30*math.Sin(float64(i)*0.01))
+	}
+	return out
+}
+
+func BenchmarkQuantizeABS32(b *testing.B) {
+	p, _ := NewParams(ABS, 1e-3, 0, false)
+	src := make([]float32, ChunkWords32)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			_ = p.EncodeValue32(v)
+		}
+	}
+}
+
+func BenchmarkQuantizeREL32(b *testing.B) {
+	p, _ := NewParams(REL, 1e-3, 0, false)
+	src := make([]float32, ChunkWords32)
+	for i := range src {
+		src[i] = float32(math.Exp(math.Sin(float64(i) * 0.001)))
+	}
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			_ = p.EncodeValue32(v)
+		}
+	}
+}
+
+func BenchmarkStageDeltaNega32(b *testing.B) {
+	words := benchWords(ChunkWords32)
+	buf := make([]uint32, len(words))
+	b.SetBytes(int64(len(words) * 4))
+	for i := 0; i < b.N; i++ {
+		copy(buf, words)
+		DeltaNegaForward32(buf)
+	}
+}
+
+func BenchmarkStageBitShuffle32(b *testing.B) {
+	words := benchWords(ChunkWords32)
+	b.SetBytes(int64(len(words) * 4))
+	for i := 0; i < b.N; i++ {
+		BitShuffle32(words)
+	}
+}
+
+func BenchmarkStageZeroElim32(b *testing.B) {
+	words := benchWords(ChunkWords32)
+	DeltaNegaForward32(words)
+	BitShuffle32(words)
+	data := make([]byte, ChunkBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(data[i*4:], w)
+	}
+	out := make([]byte, 0, MaxChunkPayload)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		out = ZeroElimEncode(data, out[:0])
+	}
+}
+
+func BenchmarkChunkEncode32(b *testing.B) {
+	p, _ := NewParams(ABS, 1e-3, 0, false)
+	src := make([]float32, ChunkWords32)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	var s Scratch32
+	b.SetBytes(ChunkBytes)
+	for i := 0; i < b.N; i++ {
+		_, _ = EncodeChunk32(&p, src, &s)
+	}
+}
+
+func BenchmarkChunkDecode32(b *testing.B) {
+	p, _ := NewParams(ABS, 1e-3, 0, false)
+	src := make([]float32, ChunkWords32)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	var s Scratch32
+	payload, raw := EncodeChunk32(&p, src, &s)
+	pl := append([]byte(nil), payload...)
+	dst := make([]float32, ChunkWords32)
+	var d Scratch32
+	b.SetBytes(ChunkBytes)
+	for i := 0; i < b.N; i++ {
+		if err := DecodeChunk32(&p, pl, raw, dst, &d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Optional stream integrity: a CRC-32C trailer over the whole container.
+// Lossy-compressed data that suffers a bit flip otherwise decodes to
+// plausible-looking garbage; the checksum turns silent corruption into a
+// clean error. The trailer is applied after encoding (and is therefore
+// identical across executors) and verified/stripped before decoding.
+
+// checksumFlag is bit 4 of the header flags byte.
+const checksumFlag = 0x10
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendChecksum marks the stream's header and appends the CRC-32C of the
+// marked stream. The input must be a valid container.
+func AppendChecksum(buf []byte) ([]byte, error) {
+	if _, err := ParseHeader(buf); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(buf), len(buf)+4)
+	copy(out, buf)
+	out[5] |= checksumFlag
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(out, castagnoli))
+	return append(out, b4[:]...), nil
+}
+
+// HasChecksum reports whether the stream carries a checksum trailer.
+func HasChecksum(buf []byte) bool {
+	return len(buf) >= headerSize && buf[5]&checksumFlag != 0
+}
+
+// VerifyAndStripChecksum validates the trailer and returns the stream
+// without it (the header keeps its flag, which the parser ignores). Streams
+// without the flag pass through unchanged.
+func VerifyAndStripChecksum(buf []byte) ([]byte, error) {
+	if !HasChecksum(buf) {
+		return buf, nil
+	}
+	if len(buf) < headerSize+4 {
+		return nil, ErrCorrupt
+	}
+	body := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stream corrupted)", ErrCorrupt)
+	}
+	return body, nil
+}

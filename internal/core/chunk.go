@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+)
+
+// MaxChunkPayload bounds the encoded size of one chunk: the zero-elimination
+// stage can expand an incompressible chunk by the bitmap overhead plus the
+// padding to a whole word group, but the raw fallback caps the stored form
+// at the chunk's own size. Scratch buffers still need room for the encoder
+// to discover that the chunk is incompressible.
+const MaxChunkPayload = ChunkBytes + ChunkBytes/4
+
+// Scratch32 holds the working storage for encoding or decoding one
+// single-precision chunk. Reusing it across chunks keeps the hot loops
+// allocation-free; each worker owns one.
+type Scratch32 struct {
+	words [ChunkWords32]uint32
+	bytes [ChunkBytes]byte
+	out   [MaxChunkPayload]byte
+}
+
+// Scratch64 is the double-precision counterpart of Scratch32.
+type Scratch64 struct {
+	words [ChunkWords64]uint64
+	bytes [ChunkBytes]byte
+	out   [MaxChunkPayload]byte
+}
+
+// PaddedWords32 returns n rounded up to the 32-word shuffle group.
+func PaddedWords32(n int) int { return (n + 31) &^ 31 }
+
+// PaddedWords64 returns n rounded up to the 64-word shuffle group.
+func PaddedWords64(n int) int { return (n + 63) &^ 63 }
+
+func paddedWords32(n int) int { return PaddedWords32(n) }
+func paddedWords64(n int) int { return PaddedWords64(n) }
+
+// EncodeChunk32 compresses src (1..ChunkWords32 values) through the fused
+// quantize + delta/negabinary + bit-shuffle + zero-elimination pipeline.
+// It returns the payload (aliasing s.out) and whether the chunk was stored
+// raw because compression would not have shrunk it (paper §III.E). The raw
+// payload holds the original, bit-exact IEEE values.
+func EncodeChunk32(p *Params, src []float32, s *Scratch32) (payload []byte, raw bool) {
+	n := len(src)
+	for i, v := range src {
+		s.words[i] = p.EncodeValue32(v)
+	}
+	DeltaNegaForward32(s.words[:n])
+	padded := paddedWords32(n)
+	for i := n; i < padded; i++ {
+		s.words[i] = 0
+	}
+	BitShuffle32(s.words[:padded])
+	for i := 0; i < padded; i++ {
+		binary.LittleEndian.PutUint32(s.bytes[i*4:], s.words[i])
+	}
+	payload = ZeroElimEncode(s.bytes[:padded*4], s.out[:0])
+	if len(payload) >= n*4 {
+		// Incompressible: emit the original chunk data and flag it.
+		for i, v := range src {
+			binary.LittleEndian.PutUint32(s.out[i*4:], f32bits(v))
+		}
+		return s.out[:n*4], true
+	}
+	return payload, false
+}
+
+// DecodeChunk32 reverses EncodeChunk32, writing len(dst) values.
+func DecodeChunk32(p *Params, payload []byte, raw bool, dst []float32, s *Scratch32) error {
+	n := len(dst)
+	if raw {
+		if len(payload) != n*4 {
+			return ErrCorrupt
+		}
+		for i := range dst {
+			dst[i] = f32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+		return nil
+	}
+	padded := paddedWords32(n)
+	used, err := ZeroElimDecode(payload, s.bytes[:padded*4])
+	if err != nil {
+		return err
+	}
+	if used != len(payload) {
+		return ErrCorrupt
+	}
+	for i := 0; i < padded; i++ {
+		s.words[i] = binary.LittleEndian.Uint32(s.bytes[i*4:])
+	}
+	BitShuffle32(s.words[:padded])
+	DeltaNegaInverse32(s.words[:n])
+	for i := range dst {
+		dst[i] = p.DecodeValue32(s.words[i])
+	}
+	return nil
+}
+
+// EncodeChunk64 is the double-precision counterpart of EncodeChunk32; all
+// but the byte-granularity final stage operate on 64-bit words (§III.D).
+func EncodeChunk64(p *Params, src []float64, s *Scratch64) (payload []byte, raw bool) {
+	n := len(src)
+	for i, v := range src {
+		s.words[i] = p.EncodeValue64(v)
+	}
+	DeltaNegaForward64(s.words[:n])
+	padded := paddedWords64(n)
+	for i := n; i < padded; i++ {
+		s.words[i] = 0
+	}
+	BitShuffle64(s.words[:padded])
+	for i := 0; i < padded; i++ {
+		binary.LittleEndian.PutUint64(s.bytes[i*8:], s.words[i])
+	}
+	payload = ZeroElimEncode(s.bytes[:padded*8], s.out[:0])
+	if len(payload) >= n*8 {
+		for i, v := range src {
+			binary.LittleEndian.PutUint64(s.out[i*8:], f64bits(v))
+		}
+		return s.out[:n*8], true
+	}
+	return payload, false
+}
+
+// DecodeChunk64 reverses EncodeChunk64.
+func DecodeChunk64(p *Params, payload []byte, raw bool, dst []float64, s *Scratch64) error {
+	n := len(dst)
+	if raw {
+		if len(payload) != n*8 {
+			return ErrCorrupt
+		}
+		for i := range dst {
+			dst[i] = f64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+		return nil
+	}
+	padded := paddedWords64(n)
+	used, err := ZeroElimDecode(payload, s.bytes[:padded*8])
+	if err != nil {
+		return err
+	}
+	if used != len(payload) {
+		return ErrCorrupt
+	}
+	for i := 0; i < padded; i++ {
+		s.words[i] = binary.LittleEndian.Uint64(s.bytes[i*8:])
+	}
+	BitShuffle64(s.words[:padded])
+	DeltaNegaInverse64(s.words[:n])
+	for i := range dst {
+		dst[i] = p.DecodeValue64(s.words[i])
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Container layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "PFPL"
+//	4       1     format version (1)
+//	5       1     flags: bits 0-1 mode, bit 2 double precision, bit 3 raw
+//	6       2     reserved (zero)
+//	8       8     error bound (float64 bits)
+//	16      8     NOA value range (float64 bits; zero unless NOA)
+//	24      8     element count
+//	32      4     chunk size in bytes
+//	36      4     number of chunks
+//	40      4*n   chunk size table: payload length, MSB set for raw chunks
+//	...           concatenated chunk payloads
+//
+// The table-then-payload layout mirrors the paper's design: the decoder
+// computes a prefix sum over the stored chunk sizes to find where each chunk
+// starts, making decompression embarrassingly parallel (§III.E).
+const (
+	headerSize   = 40
+	magic        = "PFPL"
+	version      = 1
+	rawChunkFlag = 0x80000000
+)
+
+// Header describes a compressed stream.
+type Header struct {
+	Mode      Mode
+	Prec64    bool    // double precision elements
+	Raw       bool    // quantization disabled; all words are raw IEEE bits
+	Bound     float64 // user error bound
+	NOARange  float64 // input value range (NOA only)
+	Count     uint64  // number of elements
+	NumChunks int
+}
+
+// chunkElems returns the number of elements per full chunk for the header's
+// precision.
+func (h *Header) chunkElems() int {
+	if h.Prec64 {
+		return ChunkWords64
+	}
+	return ChunkWords32
+}
+
+// NumChunksFor returns the chunk count covering n elements at perChunk
+// elements per chunk.
+func NumChunksFor(n, perChunk int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + perChunk - 1) / perChunk
+}
+
+func numChunksFor(n, perChunk int) int { return NumChunksFor(n, perChunk) }
+
+// AppendHeader serializes h plus a zeroed chunk-size table to out.
+func AppendHeader(out []byte, h *Header) []byte {
+	var buf [headerSize]byte
+	copy(buf[0:4], magic)
+	buf[4] = version
+	flags := byte(h.Mode) & 3
+	if h.Prec64 {
+		flags |= 4
+	}
+	if h.Raw {
+		flags |= 8
+	}
+	buf[5] = flags
+	binary.LittleEndian.PutUint64(buf[8:], f64bits(h.Bound))
+	binary.LittleEndian.PutUint64(buf[16:], f64bits(h.NOARange))
+	binary.LittleEndian.PutUint64(buf[24:], h.Count)
+	binary.LittleEndian.PutUint32(buf[32:], ChunkBytes)
+	binary.LittleEndian.PutUint32(buf[36:], uint32(h.NumChunks))
+	out = append(out, buf[:]...)
+	out = append(out, make([]byte, 4*h.NumChunks)...)
+	return out
+}
+
+// PutChunkSize records the payload size of chunk i in the table of a buffer
+// produced by AppendHeader.
+func PutChunkSize(buf []byte, i int, size int, raw bool) {
+	v := uint32(size)
+	if raw {
+		v |= rawChunkFlag
+	}
+	binary.LittleEndian.PutUint32(buf[headerSize+4*i:], v)
+}
+
+// ParseHeader decodes and validates the fixed header, returning the header
+// and the offset of the chunk-size table.
+func ParseHeader(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < headerSize {
+		return h, ErrCorrupt
+	}
+	if string(buf[0:4]) != magic {
+		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if buf[4] != version {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, buf[4])
+	}
+	flags := buf[5]
+	h.Mode = Mode(flags & 3)
+	h.Prec64 = flags&4 != 0
+	h.Raw = flags&8 != 0
+	h.Bound = f64frombits(binary.LittleEndian.Uint64(buf[8:]))
+	h.NOARange = f64frombits(binary.LittleEndian.Uint64(buf[16:]))
+	h.Count = binary.LittleEndian.Uint64(buf[24:])
+	if binary.LittleEndian.Uint32(buf[32:]) != ChunkBytes {
+		return h, fmt.Errorf("%w: unsupported chunk size", ErrCorrupt)
+	}
+	h.NumChunks = int(binary.LittleEndian.Uint32(buf[36:]))
+	if h.Mode > NOA {
+		return h, fmt.Errorf("%w: bad mode", ErrCorrupt)
+	}
+	want := numChunksFor(int(h.Count), h.chunkElems())
+	if h.NumChunks != want {
+		return h, fmt.Errorf("%w: chunk count %d does not cover %d elements", ErrCorrupt, h.NumChunks, h.Count)
+	}
+	if len(buf) < headerSize+4*h.NumChunks {
+		return h, ErrCorrupt
+	}
+	return h, nil
+}
+
+// ChunkTable returns, for each chunk, its payload offset (relative to the
+// start of the payload area), length, and raw flag, validating that the
+// table is consistent with the buffer length.
+func ChunkTable(buf []byte, h *Header) (offsets, lengths []int, raws []bool, payload []byte, err error) {
+	tbl := buf[headerSize : headerSize+4*h.NumChunks]
+	offsets = make([]int, h.NumChunks)
+	lengths = make([]int, h.NumChunks)
+	raws = make([]bool, h.NumChunks)
+	total := 0
+	for i := 0; i < h.NumChunks; i++ {
+		v := binary.LittleEndian.Uint32(tbl[4*i:])
+		raws[i] = v&rawChunkFlag != 0
+		l := int(v &^ rawChunkFlag)
+		if l > MaxChunkPayload {
+			return nil, nil, nil, nil, ErrCorrupt
+		}
+		offsets[i] = total
+		lengths[i] = l
+		total += l
+	}
+	payload = buf[headerSize+4*h.NumChunks:]
+	if len(payload) != total {
+		return nil, nil, nil, nil, fmt.Errorf("%w: payload length %d, table total %d", ErrCorrupt, len(payload), total)
+	}
+	return offsets, lengths, raws, payload, nil
+}
+
+// ParamsForHeader reconstructs the quantizer parameters the encoder used.
+// It must be bit-identical to the encoder's derivation, which it is because
+// both run NewParams on the same stored (mode, bound, range).
+func ParamsForHeader(h *Header) (Params, error) {
+	p, err := NewParams(h.Mode, h.Bound, h.NOARange, h.Prec64)
+	if err != nil {
+		return p, err
+	}
+	// The encoder may have forced raw mode; honor the stored flag (it can
+	// only ever widen to raw, never the reverse).
+	if h.Raw {
+		p.Raw = true
+	}
+	return p, nil
+}
+
+// Range32 returns max-min over the finite values of src (the NOA reduction,
+// §III.A). NaNs are ignored; infinities make the range infinite, which
+// NewParams maps to raw mode. An empty or all-NaN input yields 0.
+func Range32(src []float32) float64 {
+	first := true
+	var mn, mx float32
+	for _, v := range src {
+		if v != v {
+			continue
+		}
+		if first {
+			mn, mx = v, v
+			first = false
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if first {
+		return 0
+	}
+	return float64(mx) - float64(mn)
+}
+
+// Range64 is the double-precision counterpart of Range32.
+func Range64(src []float64) float64 {
+	first := true
+	var mn, mx float64
+	for _, v := range src {
+		if v != v {
+			continue
+		}
+		if first {
+			mn, mx = v, v
+			first = false
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if first {
+		return 0
+	}
+	return mx - mn
+}

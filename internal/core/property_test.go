@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// chunkInput generates arbitrary float32 chunk contents for testing/quick,
+// mixing smooth runs, random bit patterns, and specials.
+type chunkInput struct {
+	vals []float32
+}
+
+// Generate implements quick.Generator.
+func (chunkInput) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(ChunkWords32)
+	vals := make([]float32, n)
+	mode := r.Intn(3)
+	for i := range vals {
+		switch mode {
+		case 0: // smooth
+			vals[i] = float32(math.Sin(float64(i)*0.01 + r.Float64()))
+		case 1: // raw bit noise incl. specials
+			vals[i] = math.Float32frombits(r.Uint32())
+		default: // mixed magnitudes
+			vals[i] = float32((r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(20)-10)))
+		}
+	}
+	return reflect.ValueOf(chunkInput{vals})
+}
+
+func TestQuickChunkRoundtripABS(t *testing.T) {
+	p, err := NewParams(ABS, 1e-3, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc, dec Scratch32
+	f := func(in chunkInput) bool {
+		payload, raw := EncodeChunk32(&p, in.vals, &enc)
+		out := make([]float32, len(in.vals))
+		if err := DecodeChunk32(&p, payload, raw, out, &dec); err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		for i, v := range in.vals {
+			r := out[i]
+			if v != v {
+				if r == r {
+					return false
+				}
+				continue
+			}
+			if math.IsInf(float64(v), 0) {
+				if r != v {
+					return false
+				}
+				continue
+			}
+			if d := math.Abs(float64(v) - float64(r)); !(d <= 1e-3) {
+				t.Logf("value %d: %g -> %g (err %g)", i, v, r, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChunkRoundtripREL(t *testing.T) {
+	p, err := NewParams(REL, 1e-2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc, dec Scratch32
+	f := func(in chunkInput) bool {
+		payload, raw := EncodeChunk32(&p, in.vals, &enc)
+		out := make([]float32, len(in.vals))
+		if err := DecodeChunk32(&p, payload, raw, out, &dec); err != nil {
+			return false
+		}
+		for i, v := range in.vals {
+			r := out[i]
+			if v != v {
+				if r == r {
+					return false
+				}
+				continue
+			}
+			if math.IsInf(float64(v), 0) {
+				if r != v {
+					return false
+				}
+				continue
+			}
+			if v == 0 {
+				if r != 0 {
+					return false
+				}
+				continue
+			}
+			// Raw chunks may preserve negative NaNs; quantized paths
+			// sign-normalize them — both satisfy the bound trivially.
+			e := math.Abs(float64(v)-float64(r)) / math.Abs(float64(v))
+			if !(e <= 1e-2) {
+				t.Logf("value %d: %g -> %g (rel %g)", i, v, r, e)
+				return false
+			}
+			if r != 0 && math.Signbit(float64(v)) != math.Signbit(float64(r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainerRoundtrip64(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mode := Mode(modeRaw % 3)
+		n := rng.Intn(3 * ChunkWords64)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+		}
+		comp, err := CompressSerial64(src, mode, 1e-4)
+		if err != nil {
+			return false
+		}
+		dec, err := DecompressSerial64(comp, nil)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		h, _ := ParseHeader(comp)
+		p, _ := ParamsForHeader(&h)
+		bound := p.AbsBound()
+		for i := range src {
+			switch mode {
+			case REL:
+				if src[i] == 0 {
+					if dec[i] != 0 {
+						return false
+					}
+					continue
+				}
+				if e := math.Abs(src[i]-dec[i]) / math.Abs(src[i]); !(e <= 1e-4) {
+					return false
+				}
+			default:
+				if d := math.Abs(src[i] - dec[i]); !(d <= bound) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+// Random-access decompression: because chunks are independent and the
+// chunk-size table gives every chunk's offset via a prefix sum, any value
+// range can be reconstructed by decoding only the chunks that cover it —
+// the same property ZFP advertises for its blocks (§VI), falling out of
+// PFPL's chunked container for free.
+
+// DecompressRange32 decodes count values starting at element offset from a
+// single-precision stream, touching only the covering chunks.
+func DecompressRange32(buf []byte, offset, count int) ([]float32, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Prec64 {
+		return nil, ErrCorrupt
+	}
+	n := int(h.Count)
+	if offset < 0 || count < 0 || offset > n || offset+count > n {
+		return nil, ErrCorrupt
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	p, err := ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	firstChunk := offset / ChunkWords32
+	lastChunk := (offset + count - 1) / ChunkWords32
+	out := make([]float32, count)
+	var s Scratch32
+	tmp := make([]float32, ChunkWords32)
+	for c := firstChunk; c <= lastChunk; c++ {
+		lo := c * ChunkWords32
+		hi := min(lo+ChunkWords32, n)
+		dst := tmp[:hi-lo]
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		if err := DecodeChunk32(&p, pl, raws[c], dst, &s); err != nil {
+			return nil, err
+		}
+		// Copy the overlap of [lo, hi) with [offset, offset+count).
+		from := max(lo, offset)
+		to := min(hi, offset+count)
+		copy(out[from-offset:to-offset], dst[from-lo:to-lo])
+	}
+	return out, nil
+}
+
+// DecompressRange64 is the double-precision counterpart of
+// DecompressRange32.
+func DecompressRange64(buf []byte, offset, count int) ([]float64, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !h.Prec64 {
+		return nil, ErrCorrupt
+	}
+	n := int(h.Count)
+	if offset < 0 || count < 0 || offset > n || offset+count > n {
+		return nil, ErrCorrupt
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	p, err := ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	firstChunk := offset / ChunkWords64
+	lastChunk := (offset + count - 1) / ChunkWords64
+	out := make([]float64, count)
+	var s Scratch64
+	tmp := make([]float64, ChunkWords64)
+	for c := firstChunk; c <= lastChunk; c++ {
+		lo := c * ChunkWords64
+		hi := min(lo+ChunkWords64, n)
+		dst := tmp[:hi-lo]
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		if err := DecodeChunk64(&p, pl, raws[c], dst, &s); err != nil {
+			return nil, err
+		}
+		from := max(lo, offset)
+		to := min(hi, offset+count)
+		copy(out[from-offset:to-offset], dst[from-lo:to-lo])
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+// Serial whole-buffer compression and decompression: the reference
+// implementation against which the parallel CPU executor and the simulated
+// GPU executor must be bit-for-bit identical.
+
+// CompressSerial32 compresses src with the given mode and error bound.
+func CompressSerial32(src []float32, mode Mode, bound float64) ([]byte, error) {
+	var rng float64
+	if mode == NOA {
+		rng = Range32(src)
+	}
+	p, err := NewParams(mode, bound, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	h := Header{
+		Mode:      mode,
+		Raw:       p.Raw,
+		Bound:     bound,
+		NOARange:  rng,
+		Count:     uint64(len(src)),
+		NumChunks: numChunksFor(len(src), ChunkWords32),
+	}
+	out := AppendHeader(nil, &h)
+	var s Scratch32
+	for c := 0; c < h.NumChunks; c++ {
+		lo := c * ChunkWords32
+		hi := lo + ChunkWords32
+		if hi > len(src) {
+			hi = len(src)
+		}
+		payload, raw := EncodeChunk32(&p, src[lo:hi], &s)
+		PutChunkSize(out, c, len(payload), raw)
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// DecompressSerial32 decodes a stream produced by any of the float32
+// compressors. dst is reused when it has sufficient capacity.
+func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Prec64 {
+		return nil, ErrCorrupt
+	}
+	p, err := ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	var s Scratch32
+	for c := 0; c < h.NumChunks; c++ {
+		lo := c * ChunkWords32
+		hi := lo + ChunkWords32
+		if hi > n {
+			hi = n
+		}
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		if err := DecodeChunk32(&p, pl, raws[c], dst[lo:hi], &s); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// CompressSerial64 compresses double-precision data.
+func CompressSerial64(src []float64, mode Mode, bound float64) ([]byte, error) {
+	var rng float64
+	if mode == NOA {
+		rng = Range64(src)
+	}
+	p, err := NewParams(mode, bound, rng, true)
+	if err != nil {
+		return nil, err
+	}
+	h := Header{
+		Mode:      mode,
+		Prec64:    true,
+		Raw:       p.Raw,
+		Bound:     bound,
+		NOARange:  rng,
+		Count:     uint64(len(src)),
+		NumChunks: numChunksFor(len(src), ChunkWords64),
+	}
+	out := AppendHeader(nil, &h)
+	var s Scratch64
+	for c := 0; c < h.NumChunks; c++ {
+		lo := c * ChunkWords64
+		hi := lo + ChunkWords64
+		if hi > len(src) {
+			hi = len(src)
+		}
+		payload, raw := EncodeChunk64(&p, src[lo:hi], &s)
+		PutChunkSize(out, c, len(payload), raw)
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// DecompressSerial64 decodes a double-precision stream.
+func DecompressSerial64(buf []byte, dst []float64) ([]float64, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !h.Prec64 {
+		return nil, ErrCorrupt
+	}
+	p, err := ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	var s Scratch64
+	for c := 0; c < h.NumChunks; c++ {
+		lo := c * ChunkWords64
+		hi := lo + ChunkWords64
+		if hi > n {
+			hi = n
+		}
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		if err := DecodeChunk64(&p, pl, raws[c], dst[lo:hi], &s); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}

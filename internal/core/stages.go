@@ -1,0 +1,261 @@
+package core
+
+import (
+	"pfpl/internal/bits"
+)
+
+// Stage 1: difference coding with negabinary residuals (paper §III.D,
+// Fig. 3). Each word is replaced by itself minus its predecessor (wrapping
+// integer subtraction on the raw words), and the residual is converted to
+// base -2 so that both small positive and small negative residuals have
+// many leading zero bits.
+
+// DeltaNegaForward32 transforms a in place.
+func DeltaNegaForward32(a []uint32) {
+	prev := uint32(0)
+	for i, w := range a {
+		a[i] = bits.ToNegabinary32(w - prev)
+		prev = w
+	}
+}
+
+// DeltaNegaInverse32 inverts DeltaNegaForward32 in place.
+func DeltaNegaInverse32(a []uint32) {
+	prev := uint32(0)
+	for i, w := range a {
+		prev += bits.FromNegabinary32(w)
+		a[i] = prev
+	}
+}
+
+// DeltaNegaForward64 transforms a in place (64-bit word size).
+func DeltaNegaForward64(a []uint64) {
+	prev := uint64(0)
+	for i, w := range a {
+		a[i] = bits.ToNegabinary64(w - prev)
+		prev = w
+	}
+}
+
+// DeltaNegaInverse64 inverts DeltaNegaForward64 in place.
+func DeltaNegaInverse64(a []uint64) {
+	prev := uint64(0)
+	for i, w := range a {
+		prev += bits.FromNegabinary64(w)
+		a[i] = prev
+	}
+}
+
+// Stage 2: bit shuffling (paper §III.D, Fig. 4). Words are processed in
+// warp-sized groups of 32 (64 for double precision); within each group the
+// bit matrix is transposed so that output word k collects bit k of every
+// input word. Zero bit columns, which the negabinary residuals produce in
+// abundance, thereby become whole zero words. len(a) must be a multiple of
+// the group size; the chunk codec pads with zero words beforehand.
+
+// BitShuffle32 transposes each 32-word group of a in place. It is an
+// involution, so it also serves as the inverse transform.
+func BitShuffle32(a []uint32) {
+	for i := 0; i+32 <= len(a); i += 32 {
+		bits.Transpose32((*[32]uint32)(a[i : i+32]))
+	}
+}
+
+// BitShuffle64 transposes each 64-word group of a in place (involution).
+func BitShuffle64(a []uint64) {
+	for i := 0; i+64 <= len(a); i += 64 {
+		bits.Transpose64((*[64]uint64)(a[i : i+64]))
+	}
+}
+
+// Stage 3: zero-byte elimination (paper §III.D, Fig. 5). A bitmap marks the
+// nonzero bytes of the input; zero bytes are dropped. Because the bitmap is
+// substantial overhead, it is itself compressed through repeat-byte
+// elimination — a cleared bit in the next-level bitmap means the byte equals
+// its predecessor — iterated bitmapLevels times, shrinking 8x per level.
+const bitmapLevels = 4
+
+// BitmapLevels is the number of bitmap-compression iterations, exported for
+// the GPU-simulator kernels which must reproduce the identical layout.
+const BitmapLevels = bitmapLevels
+
+// bitmapLen returns the number of bitmap bytes covering n payload bytes.
+func bitmapLen(n int) int { return (n + 7) / 8 }
+
+// BitmapLen is the exported form of bitmapLen.
+func BitmapLen(n int) int { return bitmapLen(n) }
+
+// ZeroElimEncode appends the encoded form of data to out and returns the
+// extended slice. Layout, outermost level first:
+//
+//	bm[levels] || nonrep(bm[levels-1]) || ... || nonrep(bm[1]) || nonzero(data)
+//
+// where bm[1] is the zero-byte bitmap of data and bm[k+1] is the
+// repeat-byte bitmap of bm[k].
+func ZeroElimEncode(data []byte, out []byte) []byte {
+	// Build the level-1 bitmap: bit i of bm[i/8] set iff data[i] != 0.
+	bms := make([][]byte, bitmapLevels+1)
+	bms[1] = buildZeroBitmap(data)
+	for level := 2; level <= bitmapLevels; level++ {
+		bms[level] = buildRepeatBitmap(bms[level-1])
+	}
+	// Emit the outermost bitmap raw.
+	out = append(out, bms[bitmapLevels]...)
+	// Emit the non-repeating bytes of each inner bitmap.
+	for level := bitmapLevels - 1; level >= 1; level-- {
+		out = appendNonRepeat(out, bms[level])
+	}
+	// Emit the nonzero payload bytes, whole groups at a time where the
+	// bitmap says all eight survive.
+	bm1 := bms[1]
+	for j, x := range bm1 {
+		base := j * 8
+		switch x {
+		case 0:
+		case 0xFF:
+			end := base + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			out = append(out, data[base:end]...)
+		default:
+			for bit := 0; bit < 8; bit++ {
+				i := base + bit
+				if i < len(data) && x&(1<<uint(bit)) != 0 {
+					out = append(out, data[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ZeroElimDecode decodes n payload bytes from src into dst (len(dst) == n)
+// and returns the number of bytes of src consumed.
+func ZeroElimDecode(src []byte, dst []byte) (int, error) {
+	n := len(dst)
+	// Compute the bitmap sizes bottom-up, then decode top-down.
+	sizes := make([]int, bitmapLevels+1)
+	sizes[0] = n
+	for level := 1; level <= bitmapLevels; level++ {
+		sizes[level] = bitmapLen(sizes[level-1])
+	}
+	pos := 0
+	outer := src
+	if len(outer) < sizes[bitmapLevels] {
+		return 0, ErrCorrupt
+	}
+	bm := make([]byte, sizes[bitmapLevels])
+	copy(bm, outer[:sizes[bitmapLevels]])
+	pos += sizes[bitmapLevels]
+	for level := bitmapLevels - 1; level >= 1; level-- {
+		next := make([]byte, sizes[level])
+		used, err := expandRepeat(bm, src[pos:], next)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		bm = next
+	}
+	// Expand the payload from the level-1 zero bitmap.
+	used, err := expandZero(bm, src[pos:], dst)
+	if err != nil {
+		return 0, err
+	}
+	pos += used
+	return pos, nil
+}
+
+// buildZeroBitmap returns a bitmap with bit i set iff data[i] != 0. The hot
+// path tests eight bytes at a time through a 64-bit load: the fused chunk
+// pipeline runs this over every byte of the stream, so word-at-a-time
+// scanning is one of the optimizations behind PFPL's CPU throughput
+// (§III.E).
+func buildZeroBitmap(data []byte) []byte {
+	bm := make([]byte, bitmapLen(len(data)))
+	n8 := len(data) &^ 7
+	for i := 0; i < n8; i += 8 {
+		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
+			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
+			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+		if w == 0 {
+			continue
+		}
+		var x byte
+		for bit := 0; bit < 8; bit++ {
+			if byte(w>>(8*uint(bit))) != 0 {
+				x |= 1 << uint(bit)
+			}
+		}
+		bm[i>>3] = x
+	}
+	for i := n8; i < len(data); i++ {
+		if data[i] != 0 {
+			bm[i>>3] |= 1 << uint(i&7)
+		}
+	}
+	return bm
+}
+
+// buildRepeatBitmap returns a bitmap with bit i set iff data[i] differs from
+// data[i-1] (bit 0 is always set: the first byte has no predecessor).
+func buildRepeatBitmap(data []byte) []byte {
+	bm := make([]byte, bitmapLen(len(data)))
+	prev := byte(0)
+	for i, b := range data {
+		if i == 0 || b != prev {
+			bm[i>>3] |= 1 << uint(i&7)
+		}
+		prev = b
+	}
+	return bm
+}
+
+// appendNonRepeat appends the bytes of data that differ from their
+// predecessor (plus the first byte) to out.
+func appendNonRepeat(out []byte, data []byte) []byte {
+	prev := byte(0)
+	for i, b := range data {
+		if i == 0 || b != prev {
+			out = append(out, b)
+		}
+		prev = b
+	}
+	return out
+}
+
+// expandRepeat reconstructs dst from its repeat bitmap bm and the stream of
+// non-repeating bytes at the front of src, returning bytes consumed.
+func expandRepeat(bm []byte, src []byte, dst []byte) (int, error) {
+	pos := 0
+	prev := byte(0)
+	for i := range dst {
+		if bm[i>>3]&(1<<uint(i&7)) != 0 {
+			if pos >= len(src) {
+				return 0, ErrCorrupt
+			}
+			prev = src[pos]
+			pos++
+		}
+		dst[i] = prev
+	}
+	return pos, nil
+}
+
+// expandZero reconstructs dst from its zero bitmap bm and the stream of
+// nonzero bytes at the front of src, returning bytes consumed.
+func expandZero(bm []byte, src []byte, dst []byte) (int, error) {
+	pos := 0
+	for i := range dst {
+		if bm[i>>3]&(1<<uint(i&7)) != 0 {
+			if pos >= len(src) {
+				return 0, ErrCorrupt
+			}
+			dst[i] = src[pos]
+			pos++
+		} else {
+			dst[i] = 0
+		}
+	}
+	return pos, nil
+}

@@ -1,0 +1,404 @@
+// Package cpucomp is the parallel CPU implementation of PFPL, the analog of
+// the paper's OpenMP version (§III.E). The input is broken into 16 kB
+// chunks that are dynamically assigned to worker goroutines through an
+// atomic counter (load balancing: not all chunks compress equally fast),
+// and the compressed chunks are concatenated by propagating the cumulative
+// size of all prior chunks through a shared carry array accessed with
+// atomic reads and writes.
+//
+// The compressed stream is bit-for-bit identical to the serial encoder's:
+// parallelism affects only who computes each chunk, never its content or
+// placement.
+package cpucomp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pfpl/internal/core"
+)
+
+// Workers returns the effective worker count for a requested value: 0 means
+// one worker per logical CPU.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// carry is the shared carry array: carry[c] holds the absolute output offset
+// where chunk c's payload starts, or 0 while unknown. Offset 0 is never a
+// valid payload position because the header and chunk table precede it.
+type carry struct {
+	off []int64
+}
+
+func newCarry(numChunks int, payloadStart int) *carry {
+	ca := &carry{off: make([]int64, numChunks+1)}
+	if numChunks >= 0 {
+		atomic.StoreInt64(&ca.off[0], int64(payloadStart))
+	}
+	return ca
+}
+
+// wait spins until chunk c's start offset has been published.
+func (ca *carry) wait(c int) int64 {
+	for {
+		v := atomic.LoadInt64(&ca.off[c])
+		if v != 0 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// publish records that chunk c ends (and chunk c+1 begins) at offset end.
+func (ca *carry) publish(c int, end int64) {
+	atomic.StoreInt64(&ca.off[c+1], end)
+}
+
+// Compress32 compresses src in parallel with the given worker count
+// (0 = GOMAXPROCS).
+func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	var rng float64
+	if mode == core.NOA {
+		rng = parallelRange32(src, Workers(workers))
+	}
+	p, err := core.NewParams(mode, bound, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	h := core.Header{
+		Mode:      mode,
+		Raw:       p.Raw,
+		Bound:     bound,
+		NOARange:  rng,
+		Count:     uint64(len(src)),
+		NumChunks: numChunks(len(src), core.ChunkWords32),
+	}
+	out := core.AppendHeader(nil, &h)
+	payloadStart := len(out)
+	// Worst case: every chunk stored raw.
+	out = append(out, make([]byte, len(src)*4)...)
+
+	ca := newCarry(h.NumChunks, payloadStart)
+	var next int64
+	nw := Workers(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s core.Scratch32
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= h.NumChunks {
+					return
+				}
+				lo := c * core.ChunkWords32
+				hi := min(lo+core.ChunkWords32, len(src))
+				payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
+				core.PutChunkSize(out, c, len(payload), raw)
+				start := ca.wait(c)
+				copy(out[start:], payload)
+				ca.publish(c, start+int64(len(payload)))
+			}
+		}()
+	}
+	wg.Wait()
+	end := payloadStart
+	if h.NumChunks > 0 {
+		end = int(ca.wait(h.NumChunks))
+	}
+	return out[:end], nil
+}
+
+// Decompress32 decodes buf in parallel; chunk starts come from a prefix sum
+// over the stored chunk sizes, making every chunk independent (§III.E).
+func Decompress32(buf []byte, dst []float32, workers int) ([]float32, error) {
+	h, err := core.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	p, err := core.ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	err = parallelChunks(h.NumChunks, Workers(workers), func(c int, s *core.Scratch32, _ *core.Scratch64) error {
+		lo := c * core.ChunkWords32
+		hi := min(lo+core.ChunkWords32, n)
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		return core.DecodeChunk32(&p, pl, raws[c], dst[lo:hi], s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Compress64 is the double-precision counterpart of Compress32.
+func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	var rng float64
+	if mode == core.NOA {
+		rng = parallelRange64(src, Workers(workers))
+	}
+	p, err := core.NewParams(mode, bound, rng, true)
+	if err != nil {
+		return nil, err
+	}
+	h := core.Header{
+		Mode:      mode,
+		Prec64:    true,
+		Raw:       p.Raw,
+		Bound:     bound,
+		NOARange:  rng,
+		Count:     uint64(len(src)),
+		NumChunks: numChunks(len(src), core.ChunkWords64),
+	}
+	out := core.AppendHeader(nil, &h)
+	payloadStart := len(out)
+	out = append(out, make([]byte, len(src)*8)...)
+
+	ca := newCarry(h.NumChunks, payloadStart)
+	var next int64
+	nw := Workers(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s core.Scratch64
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= h.NumChunks {
+					return
+				}
+				lo := c * core.ChunkWords64
+				hi := min(lo+core.ChunkWords64, len(src))
+				payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
+				core.PutChunkSize(out, c, len(payload), raw)
+				start := ca.wait(c)
+				copy(out[start:], payload)
+				ca.publish(c, start+int64(len(payload)))
+			}
+		}()
+	}
+	wg.Wait()
+	end := payloadStart
+	if h.NumChunks > 0 {
+		end = int(ca.wait(h.NumChunks))
+	}
+	return out[:end], nil
+}
+
+// Decompress64 decodes a double-precision stream in parallel.
+func Decompress64(buf []byte, dst []float64, workers int) ([]float64, error) {
+	h, err := core.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !h.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	p, err := core.ParamsForHeader(&h)
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.Count)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
+	err = parallelChunks(h.NumChunks, Workers(workers), func(c int, _ *core.Scratch32, s *core.Scratch64) error {
+		lo := c * core.ChunkWords64
+		hi := min(lo+core.ChunkWords64, n)
+		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		return core.DecodeChunk64(&p, pl, raws[c], dst[lo:hi], s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// parallelChunks runs fn over every chunk index with dynamic assignment.
+// The first error wins; remaining chunks are still visited (they are cheap
+// and the data is discarded on error).
+func parallelChunks(numChunks, workers int, fn func(c int, s32 *core.Scratch32, s64 *core.Scratch64) error) error {
+	var next int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s32 core.Scratch32
+			var s64 core.Scratch64
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= numChunks {
+					return
+				}
+				if err := fn(c, &s32, &s64); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+func numChunks(n, perChunk int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + perChunk - 1) / perChunk
+}
+
+// parallelRange32 computes max-min over finite values with a deterministic
+// parallel reduction: per-segment partials merged in segment order.
+func parallelRange32(src []float32, workers int) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	seg := (len(src) + workers - 1) / workers
+	type part struct {
+		mn, mx float32
+		ok     bool
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * seg
+		hi := min(lo+seg, len(src))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var p part
+			for _, v := range src[lo:hi] {
+				if v != v {
+					continue
+				}
+				if !p.ok {
+					p.mn, p.mx, p.ok = v, v, true
+					continue
+				}
+				if v < p.mn {
+					p.mn = v
+				}
+				if v > p.mx {
+					p.mx = v
+				}
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc part
+	for _, p := range parts {
+		if !p.ok {
+			continue
+		}
+		if !acc.ok {
+			acc = p
+			continue
+		}
+		if p.mn < acc.mn {
+			acc.mn = p.mn
+		}
+		if p.mx > acc.mx {
+			acc.mx = p.mx
+		}
+	}
+	if !acc.ok {
+		return 0
+	}
+	return float64(acc.mx) - float64(acc.mn)
+}
+
+func parallelRange64(src []float64, workers int) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	seg := (len(src) + workers - 1) / workers
+	type part struct {
+		mn, mx float64
+		ok     bool
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * seg
+		hi := min(lo+seg, len(src))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var p part
+			for _, v := range src[lo:hi] {
+				if v != v {
+					continue
+				}
+				if !p.ok {
+					p.mn, p.mx, p.ok = v, v, true
+					continue
+				}
+				if v < p.mn {
+					p.mn = v
+				}
+				if v > p.mx {
+					p.mx = v
+				}
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc part
+	for _, p := range parts {
+		if !p.ok {
+			continue
+		}
+		if !acc.ok {
+			acc = p
+			continue
+		}
+		if p.mn < acc.mn {
+			acc.mn = p.mn
+		}
+		if p.mx > acc.mx {
+			acc.mx = p.mx
+		}
+	}
+	if !acc.ok {
+		return 0
+	}
+	return acc.mx - acc.mn
+}

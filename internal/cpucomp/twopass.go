@@ -1,0 +1,71 @@
+package cpucomp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pfpl/internal/core"
+)
+
+// Compress32TwoPass is the baseline parallelization PFPL's carry-chain
+// design replaces (§III.E): every chunk is compressed into its own buffer,
+// and a second pass concatenates them once all sizes are known. It produces
+// the identical stream but touches every compressed byte twice and holds
+// all chunk buffers live at once; the ablation benchmark quantifies what
+// the shared-carry single-pass scheme saves.
+func Compress32TwoPass(src []float32, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	var rng float64
+	if mode == core.NOA {
+		rng = parallelRange32(src, Workers(workers))
+	}
+	p, err := core.NewParams(mode, bound, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	h := core.Header{
+		Mode:      mode,
+		Raw:       p.Raw,
+		Bound:     bound,
+		NOARange:  rng,
+		Count:     uint64(len(src)),
+		NumChunks: core.NumChunksFor(len(src), core.ChunkWords32),
+	}
+
+	// Pass 1: compress every chunk into a private buffer.
+	type chunkOut struct {
+		payload []byte
+		raw     bool
+	}
+	outs := make([]chunkOut, h.NumChunks)
+	var next int64
+	nw := Workers(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s core.Scratch32
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= h.NumChunks {
+					return
+				}
+				lo := c * core.ChunkWords32
+				hi := min(lo+core.ChunkWords32, len(src))
+				payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
+				outs[c] = chunkOut{payload: append([]byte(nil), payload...), raw: raw}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Pass 2: size table and concatenation.
+	out := core.AppendHeader(nil, &h)
+	for c, o := range outs {
+		core.PutChunkSize(out, c, len(o.payload), o.raw)
+	}
+	for _, o := range outs {
+		out = append(out, o.payload...)
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package cpucomp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+func TestTwoPassMatchesCarryChain(t *testing.T) {
+	src := synth(23*core.ChunkWords32+419, 9)
+	for _, mode := range []core.Mode{core.ABS, core.NOA} {
+		a, err := Compress32(src, mode, 1e-3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compress32TwoPass(src, mode, 1e-3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%v: two-pass stream differs from carry-chain stream", mode)
+		}
+	}
+}
+
+func BenchmarkCarryChainCompress(b *testing.B) {
+	src := benchInput()
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress32(src, core.ABS, 1e-3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoPassCompress(b *testing.B) {
+	src := benchInput()
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress32TwoPass(src, core.ABS, 1e-3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchInput() []float32 {
+	src := make([]float32, 1<<21)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) * 0.0005))
+	}
+	return src
+}

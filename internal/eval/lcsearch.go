@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"fmt"
+
+	"pfpl/internal/core"
+	"pfpl/internal/lcsim"
+)
+
+// LCSearch reproduces the paper's design methodology (§III.D): enumerate
+// LC-style candidate pipelines over cheap transforms and score them on
+// sample data. Under the paper's parallelism-friendliness constraint the
+// search lands on PFPL's shipped pipeline.
+func LCSearch(cfg Config) *Report {
+	r := &Report{ID: "LC search", Title: "Pipeline design search (§III.D methodology)"}
+	// Sample: one file from each 3-D single-precision suite.
+	var sample []float32
+	for _, s := range suitesFor(core.ABS, false, cfg.Scale) {
+		f := s.Files[0]
+		sample = append(sample, f.Data32()...)
+		f.Release()
+		if len(sample) > 1<<21 {
+			break
+		}
+	}
+	results, err := lcsim.Search(sample, 1e-3, 3)
+	if err != nil {
+		r.Lines = append(r.Lines, "search failed: "+err.Error())
+		return r
+	}
+	r.Lines = append(r.Lines,
+		fmt.Sprintf("%d GPU-friendly candidates scored on %d sample values (ABS 1e-3):",
+			len(results), len(sample)),
+		"")
+	r.Lines = append(r.Lines, lcsim.Describe(results, 10)...)
+	r.Lines = append(r.Lines, "", "* = the pipeline PFPL ships (delta -> negabinary -> bit shuffle -> zero elimination)")
+
+	all, err := lcsim.SearchAll(sample, 1e-3, 3)
+	if err == nil && len(all) > 0 && all[0].Pipeline != results[0].Pipeline {
+		r.Lines = append(r.Lines, "",
+			fmt.Sprintf("Without the GPU-friendliness constraint the winner would be %s (ratio %.2f),",
+				all[0].Pipeline, all[0].Ratio),
+			"a sequential coder the paper's design space excludes (§III.D).")
+	}
+	r.CSV = append(r.CSV, []string{"pipeline", "ratio"})
+	for _, res := range results {
+		r.CSV = append(r.CSV, []string{res.Pipeline, f2(res.Ratio)})
+	}
+	return r
+}

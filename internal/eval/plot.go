@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// asciiScatter renders a log-log scatter of the aggregate points, one
+// letter per compressor and '*' where a point lies on a Pareto front — a
+// terminal rendering of the paper's Figures 6-15.
+func asciiScatter(aggs []Aggregate, decompress bool, front map[int]bool, width, height int) []string {
+	if len(aggs) == 0 {
+		return nil
+	}
+	yOf := func(a Aggregate) float64 {
+		if decompress {
+			return a.DecompGBs
+		}
+		return a.CompGBs
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, a := range aggs {
+		if a.Ratio <= 0 || yOf(a) <= 0 {
+			continue
+		}
+		minX = math.Min(minX, a.Ratio)
+		maxX = math.Max(maxX, a.Ratio)
+		minY = math.Min(minY, yOf(a))
+		maxY = math.Max(maxY, yOf(a))
+	}
+	if !(minX < maxX) || !(minY < maxY) {
+		return nil
+	}
+	lx, ux := math.Log10(minX), math.Log10(maxX)
+	ly, uy := math.Log10(minY), math.Log10(maxY)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	letters := letterLegend(aggs)
+	for i, a := range aggs {
+		if a.Ratio <= 0 || yOf(a) <= 0 {
+			continue
+		}
+		cx := int((math.Log10(a.Ratio) - lx) / (ux - lx) * float64(width-1))
+		cy := int((math.Log10(yOf(a)) - ly) / (uy - ly) * float64(height-1))
+		row := height - 1 - cy
+		ch := letters[a.Compressor]
+		if front[i] {
+			// Pareto points keep their letter; the legend marks them.
+			ch = byte(lowerOf(ch))
+		}
+		grid[row][cx] = ch
+	}
+
+	var out []string
+	out = append(out, fmt.Sprintf("throughput (GB/s, log) %8.3g", maxY))
+	for _, row := range grid {
+		out = append(out, "  |"+string(row))
+	}
+	out = append(out, fmt.Sprintf("  +%s  ratio (log)", strings.Repeat("-", width)))
+	out = append(out, fmt.Sprintf("   %-10.3g%*s%.3g", minX, width-16, "", maxX))
+	// Legend.
+	var names []string
+	for name := range letters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var legend []string
+	for _, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", letters[n], n))
+	}
+	out = append(out, "  legend: "+strings.Join(legend, " ")+"  (lowercase = on a Pareto front)")
+	return out
+}
+
+// letterLegend assigns a stable uppercase letter to each compressor.
+func letterLegend(aggs []Aggregate) map[string]byte {
+	var names []string
+	seen := map[string]bool{}
+	for _, a := range aggs {
+		if !seen[a.Compressor] {
+			seen[a.Compressor] = true
+			names = append(names, a.Compressor)
+		}
+	}
+	sort.Strings(names)
+	letters := map[string]byte{}
+	for i, n := range names {
+		letters[n] = byte('A' + i%26)
+	}
+	return letters
+}
+
+func lowerOf(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c - 'A' + 'a'
+	}
+	return c
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiScatter(t *testing.T) {
+	aggs := []Aggregate{
+		{Compressor: "Alpha", Bound: 1e-1, Ratio: 10, CompGBs: 100},
+		{Compressor: "Alpha", Bound: 1e-2, Ratio: 5, CompGBs: 90},
+		{Compressor: "Beta", Bound: 1e-1, Ratio: 50, CompGBs: 0.1},
+		{Compressor: "Beta", Bound: 1e-2, Ratio: 20, CompGBs: 0.05},
+	}
+	front := map[int]bool{0: true}
+	lines := asciiScatter(aggs, false, front, 40, 10)
+	if len(lines) < 12 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	// Pareto point is lowercase; others uppercase.
+	if !strings.Contains(joined, "a") {
+		t.Error("pareto marker missing")
+	}
+	if !strings.Contains(joined, "B") {
+		t.Error("Beta points missing")
+	}
+	if !strings.Contains(joined, "A=Alpha") || !strings.Contains(joined, "B=Beta") {
+		t.Error("legend missing")
+	}
+}
+
+func TestAsciiScatterDegenerate(t *testing.T) {
+	if asciiScatter(nil, false, nil, 40, 10) != nil {
+		t.Error("empty input should produce no plot")
+	}
+	one := []Aggregate{{Compressor: "A", Ratio: 5, CompGBs: 1}}
+	if asciiScatter(one, false, nil, 40, 10) != nil {
+		t.Error("single point (no range) should produce no plot")
+	}
+	bad := []Aggregate{{Compressor: "A", Ratio: 0, CompGBs: 0}, {Compressor: "B", Ratio: -1, CompGBs: -2}}
+	if asciiScatter(bad, false, nil, 40, 10) != nil {
+		t.Error("non-positive points should produce no plot")
+	}
+}

@@ -1,0 +1,210 @@
+// Package eval is the evaluation harness that regenerates every table and
+// figure of the paper's evaluation (§IV–V): it holds the compressor
+// registry with the Table III capability metadata, runs the per-suite
+// compress/decompress/verify sweeps, aggregates with the paper's
+// geo-mean-of-geo-means rule, computes Pareto fronts, and formats the
+// results as text tables and CSV.
+package eval
+
+import (
+	"fmt"
+
+	"pfpl"
+	"pfpl/internal/baselines/cuszplike"
+	"pfpl/internal/baselines/fzgpulike"
+	"pfpl/internal/baselines/mgardlike"
+	"pfpl/internal/baselines/sperrlike"
+	"pfpl/internal/baselines/szlike"
+	"pfpl/internal/baselines/zfplike"
+	"pfpl/internal/core"
+	"pfpl/internal/gpusim"
+)
+
+// Support encodes a Table III cell.
+type Support byte
+
+// Table III legend: '✗' unsupported, '○' supported without a guarantee,
+// '✓' supported with the bound always honored.
+const (
+	No Support = iota
+	Partial
+	Yes
+)
+
+// Mark renders the Table III symbol.
+func (s Support) Mark() string {
+	switch s {
+	case Yes:
+		return "Y"
+	case Partial:
+		return "o"
+	}
+	return "x"
+}
+
+// Caps is a compressor's declared feature set (Table III).
+type Caps struct {
+	ABS, REL, NOA Support
+	Float, Double bool
+	CPU, GPU      bool
+	ThreeDOnly    bool // SPERR-3D accepts only 3-D grids
+}
+
+// Supports reports whether the mode is available at all.
+func (c Caps) Supports(mode core.Mode) bool {
+	switch mode {
+	case core.ABS:
+		return c.ABS != No
+	case core.REL:
+		return c.REL != No
+	default:
+		return c.NOA != No
+	}
+}
+
+// GPUCost models a GPU-resident compressor's throughput on the simulated
+// device (ops per value for each direction). Pure-Go reimplementations of
+// CUDA codes cannot be timed meaningfully as GPUs, so GPU-side throughputs
+// in the figures are modelled; EXPERIMENTS.md states this per experiment.
+type GPUCost struct {
+	Device    gpusim.DeviceModel
+	CompOps   float64
+	DecompOps float64
+	RelExtra  float64
+}
+
+// Compressor is one registry entry.
+type Compressor struct {
+	Name string
+	Caps Caps
+	// GPU is non-nil for compressors whose figures report modelled GPU
+	// throughput.
+	GPU *GPUCost
+
+	C32 func(src []float32, dims []int, mode core.Mode, bound float64) ([]byte, error)
+	D32 func(buf []byte) ([]float32, error)
+	C64 func(src []float64, dims []int, mode core.Mode, bound float64) ([]byte, error)
+	D64 func(buf []byte) ([]float64, error)
+}
+
+func deviceEntry(name string, dev pfpl.Device, caps Caps, gpu *GPUCost) Compressor {
+	return Compressor{
+		Name: name,
+		Caps: caps,
+		GPU:  gpu,
+		C32: func(src []float32, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+			return dev.Compress32(src, mode, bound)
+		},
+		D32: func(buf []byte) ([]float32, error) { return dev.Decompress32(buf, nil) },
+		C64: func(src []float64, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+			return dev.Compress64(src, mode, bound)
+		},
+		D64: func(buf []byte) ([]float64, error) { return dev.Decompress64(buf, nil) },
+	}
+}
+
+// pfplCaps: PFPL supports and guarantees everything (Table III last row).
+var pfplCaps = Caps{ABS: Yes, REL: Yes, NOA: Yes, Float: true, Double: true, CPU: true, GPU: true}
+
+// Registry returns all evaluated compressors in the paper's Table III order
+// (by initial release date), with the three PFPL executors appended. GPU
+// throughput is modelled on System 1's RTX 4090.
+func Registry() []Compressor { return RegistryForGPU(gpusim.RTX4090) }
+
+// RegistryForGPU builds the registry with GPU throughputs modelled on the
+// given device — System 2's A100 for the paper's Figures 6c/7c.
+func RegistryForGPU(gpu gpusim.DeviceModel) []Compressor {
+	szVariant := func(v szlike.Variant, caps Caps) Compressor {
+		return Compressor{
+			Name: v.String(),
+			Caps: caps,
+			C32: func(src []float32, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return szlike.Compress(src, dims, mode, bound, v)
+			},
+			D32: szlike.Decompress[float32],
+			C64: func(src []float64, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return szlike.Compress(src, dims, mode, bound, v)
+			},
+			D64: szlike.Decompress[float64],
+		}
+	}
+	list := []Compressor{
+		{
+			Name: "ZFP",
+			Caps: Caps{ABS: Partial, REL: Yes, NOA: No, Float: true, Double: true, CPU: true},
+			C32: func(src []float32, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return zfplike.Compress(src, dims, mode, bound)
+			},
+			D32: zfplike.Decompress[float32],
+			C64: func(src []float64, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return zfplike.Compress(src, dims, mode, bound)
+			},
+			D64: zfplike.Decompress[float64],
+		},
+		szVariant(szlike.SZ2, Caps{ABS: Yes, REL: Partial, NOA: Yes, Float: true, Double: true, CPU: true}),
+		szVariant(szlike.SZ3, Caps{ABS: Yes, REL: No, NOA: Yes, Float: true, Double: true, CPU: true}),
+		szVariant(szlike.SZ3OMP, Caps{ABS: Yes, REL: No, NOA: Yes, Float: true, Double: true, CPU: true}),
+		{
+			Name: "MGARD-X",
+			Caps: Caps{ABS: Partial, REL: No, NOA: Partial, Float: true, Double: true, CPU: true, GPU: true},
+			GPU:  &GPUCost{Device: gpu, CompOps: 13300, DecompOps: 29300},
+			C32: func(src []float32, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+				return mgardlike.Compress(src, mode, bound)
+			},
+			D32: mgardlike.Decompress[float32],
+			C64: func(src []float64, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+				return mgardlike.Compress(src, mode, bound)
+			},
+			D64: mgardlike.Decompress[float64],
+		},
+		{
+			Name: "SPERR",
+			Caps: Caps{ABS: Partial, REL: No, NOA: No, Float: true, Double: true, CPU: true, ThreeDOnly: true},
+			C32: func(src []float32, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return sperrlike.Compress(src, dims, mode, bound)
+			},
+			D32: sperrlike.Decompress[float32],
+			C64: func(src []float64, dims []int, mode core.Mode, bound float64) ([]byte, error) {
+				return sperrlike.Compress(src, dims, mode, bound)
+			},
+			D64: sperrlike.Decompress[float64],
+		},
+		{
+			Name: "FZ-GPU",
+			Caps: Caps{ABS: No, REL: No, NOA: Partial, Float: true, Double: false, GPU: true},
+			GPU:  &GPUCost{Device: gpu, CompOps: 620, DecompOps: 680},
+			C32: func(src []float32, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+				return fzgpulike.Compress(src, mode, bound)
+			},
+			D32: func(buf []byte) ([]float32, error) { return fzgpulike.Decompress(buf) },
+		},
+		{
+			Name: "cuSZp",
+			Caps: Caps{ABS: Partial, REL: No, NOA: Yes, Float: true, Double: true, GPU: true},
+			GPU:  &GPUCost{Device: gpu, CompOps: 540, DecompOps: 310},
+			C32: func(src []float32, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+				return cuszplike.Compress(src, mode, bound)
+			},
+			D32: cuszplike.Decompress[float32],
+			C64: func(src []float64, _ []int, mode core.Mode, bound float64) ([]byte, error) {
+				return cuszplike.Compress(src, mode, bound)
+			},
+			D64: cuszplike.Decompress[float64],
+		},
+		deviceEntry("PFPL-Serial", pfpl.Serial(), pfplCaps, nil),
+		deviceEntry("PFPL-OMP", pfpl.CPU(0), pfplCaps, nil),
+		deviceEntry("PFPL-CUDA", pfpl.GPU(gpu), pfplCaps,
+			&GPUCost{Device: gpu, CompOps: 360, DecompOps: 465, RelExtra: 110}),
+	}
+	return list
+}
+
+// Find returns the registry entry with the given name.
+func Find(name string) (Compressor, error) {
+	for _, c := range Registry() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Compressor{}, fmt.Errorf("eval: unknown compressor %q", name)
+}

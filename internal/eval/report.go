@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure: formatted text plus the raw
+// CSV rows for plotting.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	CSV   [][]string
+}
+
+// Text renders the report.
+func (r *Report) Text() string {
+	var b strings.Builder
+	b.WriteString("== " + r.ID + ": " + r.Title + " ==\n")
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// table formats rows with aligned columns.
+func table(header []string, rows [][]string) []string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	format := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	out := []string{format(header)}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out = append(out, format(sep))
+	for _, r := range rows {
+		out = append(out, format(r))
+	}
+	return out
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// gbps formats a throughput; modelled values are marked with '*'.
+func gbps(x float64, modelled bool) string {
+	s := fmt.Sprintf("%.3f", x)
+	if modelled {
+		s += "*"
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pfpl/internal/sdrbench"
+)
+
+func TestTableAlignment(t *testing.T) {
+	lines := table([]string{"A", "BBBB"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// All data rows align under the header.
+	if !strings.HasPrefix(lines[0], "A ") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("separator %q", lines[1])
+	}
+	// Column 2 starts at the same offset in all rows.
+	off := strings.Index(lines[0], "BBBB")
+	if strings.Index(lines[2], "y") != off {
+		t.Errorf("misaligned row: %q (want col at %d)", lines[2], off)
+	}
+}
+
+func TestReportText(t *testing.T) {
+	r := &Report{ID: "X", Title: "Y", Lines: []string{"a", "b"}}
+	txt := r.Text()
+	if !strings.HasPrefix(txt, "== X: Y ==\n") || !strings.Contains(txt, "a\nb\n") {
+		t.Errorf("text: %q", txt)
+	}
+}
+
+func TestGbpsFormatsModelled(t *testing.T) {
+	if got := gbps(1.5, true); got != "1.500*" {
+		t.Errorf("modelled: %q", got)
+	}
+	if got := gbps(1.5, false); got != "1.500" {
+		t.Errorf("measured: %q", got)
+	}
+}
+
+func TestLCSearchReport(t *testing.T) {
+	r := LCSearch(Config{Scale: sdrbench.ScaleSmall, Reps: 1})
+	txt := r.Text()
+	if !strings.Contains(txt, "delta|negabinary|bitshuffle+zero-elim") {
+		t.Error("PFPL pipeline missing from search report")
+	}
+	if !strings.Contains(txt, "*") {
+		t.Error("PFPL pipeline not marked")
+	}
+	if len(r.CSV) < 5 {
+		t.Errorf("only %d CSV rows", len(r.CSV))
+	}
+}
+
+func TestSystem2RegistryUsesA100(t *testing.T) {
+	cfg := Config{System2: true}
+	for _, c := range cfg.registry() {
+		if c.GPU != nil && c.GPU.Device.Name != "A100" {
+			t.Errorf("%s models %s, want A100", c.Name, c.GPU.Device.Name)
+		}
+	}
+	cfg.System2 = false
+	for _, c := range cfg.registry() {
+		if c.GPU != nil && c.GPU.Device.Name != "RTX 4090" {
+			t.Errorf("%s models %s, want RTX 4090", c.Name, c.GPU.Device.Name)
+		}
+	}
+}
+
+func TestTakeawaysReportShape(t *testing.T) {
+	cfg := Config{Scale: sdrbench.ScaleSmall, Reps: 1, MaxFilesPerSuite: 2}
+	r := Takeaways(cfg)
+	txt := r.Text()
+	for _, want := range []string{"T1:", "T2:", "T3:", "takeaway claims reproduced"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("takeaways missing %q", want)
+		}
+	}
+	// The PFPL guarantee claims must hold even on the truncated sweep.
+	if !strings.Contains(txt, "[ok  ] T2: SZ2 violates the REL bound") {
+		t.Errorf("SZ2 violation claim did not reproduce:\n%s", txt)
+	}
+}

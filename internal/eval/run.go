@@ -1,0 +1,348 @@
+package eval
+
+import (
+	"sort"
+	"time"
+
+	"pfpl"
+	"pfpl/internal/core"
+	"pfpl/internal/gpusim"
+	"pfpl/internal/sdrbench"
+	"pfpl/internal/stats"
+)
+
+// Bounds are the four error bounds every figure sweeps (§IV: circle,
+// triangle, square, pentagon markers).
+var Bounds = []float64{1e-1, 1e-2, 1e-3, 1e-4}
+
+// Measurement is the outcome of one (compressor, file, mode, bound) run.
+type Measurement struct {
+	Compressor string
+	Suite      string
+	File       string
+	Mode       core.Mode
+	Bound      float64
+	Ratio      float64
+	CompGBs    float64
+	DecompGBs  float64
+	Modelled   bool // GPU throughputs come from the roofline model
+	Violations int
+	PSNR       float64
+	Err        error
+}
+
+// Config controls a sweep.
+type Config struct {
+	Scale sdrbench.Scale
+	Reps  int // timing repetitions; the median is reported (paper: 9)
+	// MaxFilesPerSuite truncates each suite for quick runs (0 = all files).
+	MaxFilesPerSuite int
+	// Only restricts the sweep to the named compressors (nil = all).
+	Only []string
+	// System2 models GPU throughput on the A100 (Table I's second system)
+	// instead of the RTX 4090.
+	System2 bool
+}
+
+func (c Config) registry() []Compressor {
+	if c.System2 {
+		return RegistryForGPU(gpusim.A100)
+	}
+	return Registry()
+}
+
+func (c Config) wants(name string) bool {
+	if len(c.Only) == 0 {
+		return true
+	}
+	for _, n := range c.Only {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultConfig keeps full sweeps fast while remaining statistically sane.
+func DefaultConfig() Config { return Config{Scale: sdrbench.ScaleSmall, Reps: 3} }
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 3
+	}
+	return c.Reps
+}
+
+// median of a small slice.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// MeasureFile32 runs one single-precision measurement.
+func MeasureFile32(c Compressor, suite string, f *sdrbench.File, mode core.Mode, bound float64, cfg Config) Measurement {
+	m := Measurement{Compressor: c.Name, Suite: suite, File: f.Name, Mode: mode, Bound: bound}
+	src := f.Data32()
+	if len(src) == 0 || c.C32 == nil {
+		m.Err = errSkip
+		return m
+	}
+	rawBytes := len(src) * 4
+
+	var comp []byte
+	var err error
+	compTimes := make([]float64, 0, cfg.reps())
+	for r := 0; r < cfg.reps(); r++ {
+		t0 := time.Now()
+		comp, err = c.C32(src, f.Dims, mode, bound)
+		compTimes = append(compTimes, time.Since(t0).Seconds())
+		if err != nil {
+			m.Err = err
+			return m
+		}
+	}
+	var dec []float32
+	decTimes := make([]float64, 0, cfg.reps())
+	for r := 0; r < cfg.reps(); r++ {
+		t0 := time.Now()
+		dec, err = c.D32(comp)
+		decTimes = append(decTimes, time.Since(t0).Seconds())
+		if err != nil {
+			m.Err = err
+			return m
+		}
+	}
+	m.Ratio = float64(rawBytes) / float64(len(comp))
+	if c.GPU != nil {
+		ops := c.GPU.CompOps
+		dops := c.GPU.DecompOps
+		if mode == core.REL {
+			ops += c.GPU.RelExtra
+			dops += c.GPU.RelExtra
+		}
+		m.CompGBs = float64(rawBytes) / c.GPU.Device.EstimateSecondsOps(len(src), 4, len(comp), ops) / 1e9
+		m.DecompGBs = float64(rawBytes) / c.GPU.Device.EstimateSecondsOps(len(src), 4, len(comp), dops) / 1e9
+		m.Modelled = true
+	} else {
+		m.CompGBs = float64(rawBytes) / median(compTimes) / 1e9
+		m.DecompGBs = float64(rawBytes) / median(decTimes) / 1e9
+	}
+	m.Violations = pfpl.VerifyBound(src, dec, mode, bound)
+	m.PSNR = stats.PSNR32(src, dec)
+	return m
+}
+
+// MeasureFile64 runs one double-precision measurement.
+func MeasureFile64(c Compressor, suite string, f *sdrbench.File, mode core.Mode, bound float64, cfg Config) Measurement {
+	m := Measurement{Compressor: c.Name, Suite: suite, File: f.Name, Mode: mode, Bound: bound}
+	src := f.Data64()
+	if len(src) == 0 || c.C64 == nil {
+		m.Err = errSkip
+		return m
+	}
+	rawBytes := len(src) * 8
+
+	var comp []byte
+	var err error
+	compTimes := make([]float64, 0, cfg.reps())
+	for r := 0; r < cfg.reps(); r++ {
+		t0 := time.Now()
+		comp, err = c.C64(src, f.Dims, mode, bound)
+		compTimes = append(compTimes, time.Since(t0).Seconds())
+		if err != nil {
+			m.Err = err
+			return m
+		}
+	}
+	var dec []float64
+	decTimes := make([]float64, 0, cfg.reps())
+	for r := 0; r < cfg.reps(); r++ {
+		t0 := time.Now()
+		dec, err = c.D64(comp)
+		decTimes = append(decTimes, time.Since(t0).Seconds())
+		if err != nil {
+			m.Err = err
+			return m
+		}
+	}
+	m.Ratio = float64(rawBytes) / float64(len(comp))
+	if c.GPU != nil {
+		ops := c.GPU.CompOps
+		dops := c.GPU.DecompOps
+		if mode == core.REL {
+			ops += c.GPU.RelExtra
+			dops += c.GPU.RelExtra
+		}
+		m.CompGBs = float64(rawBytes) / c.GPU.Device.EstimateSecondsOps(len(src), 8, len(comp), ops) / 1e9
+		m.DecompGBs = float64(rawBytes) / c.GPU.Device.EstimateSecondsOps(len(src), 8, len(comp), dops) / 1e9
+		m.Modelled = true
+	} else {
+		m.CompGBs = float64(rawBytes) / median(compTimes) / 1e9
+		m.DecompGBs = float64(rawBytes) / median(decTimes) / 1e9
+	}
+	m.Violations = pfpl.VerifyBound64(src, dec, mode, bound)
+	m.PSNR = stats.PSNR64(src, dec)
+	return m
+}
+
+// errSkip marks combinations a compressor does not apply to.
+var errSkip = errSkipType{}
+
+type errSkipType struct{}
+
+func (errSkipType) Error() string { return "skipped" }
+
+// suitesFor selects the input suites for a figure, applying the paper's
+// exclusions: ABS and NOA experiments drop the non-3D suites (EXAALT,
+// HACC); REL uses everything (§V-B, §V-D).
+func suitesFor(mode core.Mode, double bool, sc sdrbench.Scale) []*sdrbench.Suite {
+	var pool []*sdrbench.Suite
+	if double {
+		pool = sdrbench.DoubleSuites(sc)
+	} else {
+		pool = sdrbench.SingleSuites(sc)
+	}
+	if mode == core.REL || double {
+		return pool
+	}
+	// §V-B, §V-D: EXAALT and HACC are excluded from the ABS and NOA
+	// experiments (not 3-D, which SPERR/FZ-GPU require; HACC exhausts
+	// MGARD-X's memory). The double-precision suites are unaffected.
+	var out []*sdrbench.Suite
+	for _, s := range pool {
+		if s.Name == "EXAALT Copper" || s.Name == "HACC" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// applicable reports whether the compressor participates in this figure's
+// sweep (per Table III and the paper's per-figure exclusions).
+func applicable(c Compressor, mode core.Mode, double bool, suite *sdrbench.Suite) bool {
+	if !c.Caps.Supports(mode) {
+		return false
+	}
+	if double && !c.Caps.Double {
+		return false
+	}
+	if c.Caps.ThreeDOnly && !suite.ThreeD {
+		return false
+	}
+	if c.Caps.ThreeDOnly && double {
+		// SPERR-3D does not run in parallel on the double inputs and is not
+		// shown in the double-precision charts (§IV, §V-B).
+		return false
+	}
+	return true
+}
+
+// RunScatter sweeps one figure: every registered compressor over the
+// applicable suites at the four bounds. Results with Err != nil are
+// dropped.
+func RunScatter(mode core.Mode, double bool, cfg Config) []Measurement {
+	var out []Measurement
+	suites := suitesFor(mode, double, cfg.Scale)
+	for _, c := range cfg.registry() {
+		if !cfg.wants(c.Name) {
+			continue
+		}
+		for _, bound := range Bounds {
+			for _, s := range suites {
+				if !applicable(c, mode, double, s) {
+					continue
+				}
+				files := s.Files
+				if cfg.MaxFilesPerSuite > 0 && len(files) > cfg.MaxFilesPerSuite {
+					files = files[:cfg.MaxFilesPerSuite]
+				}
+				for _, f := range files {
+					var m Measurement
+					if double {
+						m = MeasureFile64(c, s.Name, f, mode, bound, cfg)
+					} else {
+						m = MeasureFile32(c, s.Name, f, mode, bound, cfg)
+					}
+					if m.Err == nil {
+						out = append(out, m)
+					}
+				}
+				s.Release()
+			}
+		}
+	}
+	return out
+}
+
+// Aggregate is one scatter point: a compressor at one bound, aggregated
+// with the geo-mean-of-suite-geo-means rule (§IV).
+type Aggregate struct {
+	Compressor string
+	Bound      float64
+	Ratio      float64
+	CompGBs    float64
+	DecompGBs  float64
+	PSNR       float64
+	Modelled   bool
+	Violations int
+	Files      int
+}
+
+// Aggregate groups measurements by (compressor, bound).
+func AggregateScatter(ms []Measurement) []Aggregate {
+	type key struct {
+		name  string
+		bound float64
+	}
+	bySuite := map[key]map[string][]Measurement{}
+	var order []key
+	for _, m := range ms {
+		k := key{m.Compressor, m.Bound}
+		if bySuite[k] == nil {
+			bySuite[k] = map[string][]Measurement{}
+			order = append(order, k)
+		}
+		bySuite[k][m.Suite] = append(bySuite[k][m.Suite], m)
+	}
+	var out []Aggregate
+	for _, k := range order {
+		suiteMap := bySuite[k]
+		var suiteNames []string
+		for s := range suiteMap {
+			suiteNames = append(suiteNames, s)
+		}
+		sort.Strings(suiteNames)
+		gather := func(get func(Measurement) float64) [][]float64 {
+			groups := make([][]float64, 0, len(suiteNames))
+			for _, s := range suiteNames {
+				g := make([]float64, 0, len(suiteMap[s]))
+				for _, m := range suiteMap[s] {
+					g = append(g, get(m))
+				}
+				groups = append(groups, g)
+			}
+			return groups
+		}
+		agg := Aggregate{Compressor: k.name, Bound: k.bound}
+		agg.Ratio = stats.GeoMeanOfGroups(gather(func(m Measurement) float64 { return m.Ratio }))
+		agg.CompGBs = stats.GeoMeanOfGroups(gather(func(m Measurement) float64 { return m.CompGBs }))
+		agg.DecompGBs = stats.GeoMeanOfGroups(gather(func(m Measurement) float64 { return m.DecompGBs }))
+		agg.PSNR = stats.GeoMeanOfGroups(gather(func(m Measurement) float64 { return m.PSNR }))
+		for _, s := range suiteNames {
+			for _, m := range suiteMap[s] {
+				agg.Violations += m.Violations
+				agg.Modelled = agg.Modelled || m.Modelled
+				agg.Files++
+			}
+		}
+		out = append(out, agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compressor != out[j].Compressor {
+			return out[i].Compressor < out[j].Compressor
+		}
+		return out[i].Bound > out[j].Bound
+	})
+	return out
+}

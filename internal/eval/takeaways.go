@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pfpl/internal/core"
+)
+
+// claim is one checkable statement from the paper's takeaways.
+type claim struct {
+	text string
+	ok   bool
+	note string
+}
+
+// Takeaways re-derives the paper's three takeaway boxes (§V-B, §V-C, §V-D)
+// from measured aggregates and reports which claims hold in this
+// reproduction.
+func Takeaways(cfg Config) *Report {
+	r := &Report{ID: "Takeaways", Title: "The paper's takeaway claims, checked against this reproduction"}
+
+	abs := AggregateScatter(RunScatter(core.ABS, false, cfg))
+	rel := AggregateScatter(RunScatter(core.REL, false, cfg))
+	noa := AggregateScatter(RunScatter(core.NOA, false, cfg))
+
+	get := func(aggs []Aggregate, name string, bound float64) *Aggregate {
+		for i := range aggs {
+			if aggs[i].Compressor == name && aggs[i].Bound == bound {
+				return &aggs[i]
+			}
+		}
+		return nil
+	}
+	geoOver := func(aggs []Aggregate, name string, metric func(Aggregate) float64) float64 {
+		prod, n := 1.0, 0
+		for _, b := range Bounds {
+			if a := get(aggs, name, b); a != nil {
+				prod *= metric(*a)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		// Geometric mean across bounds.
+		return math.Pow(prod, 1/float64(n))
+	}
+
+	var claims []claim
+	add := func(ok bool, text, note string) {
+		claims = append(claims, claim{text: text, ok: ok, note: note})
+	}
+
+	// Takeaway 1 (ABS): PFPL-OMP is the fastest CPU compressor; PFPL-CUDA
+	// is faster and compresses more than the GPU codes; MGARD-X is far
+	// slower and compresses far less. MGARD-X's throughput entries are
+	// GPU-modelled, so the host-measured comparison covers the CPU-only
+	// codes (the paper's "7.1x faster than the next fastest CPU code").
+	cpuNames := []string{"ZFP", "SZ2", "SZ3-Serial", "SZ3-OMP", "SPERR"}
+	pfplOMP := geoOver(abs, "PFPL-OMP", Aggregate.comp)
+	fastestOther := 0.0
+	fastestName := ""
+	for _, n := range cpuNames {
+		if v := geoOver(abs, n, Aggregate.comp); v > fastestOther {
+			fastestOther, fastestName = v, n
+		}
+	}
+	add(pfplOMP > fastestOther,
+		"T1: PFPL-OMP out-compresses every CPU code in throughput (ABS)",
+		fmt.Sprintf("PFPL-OMP %.3f GB/s vs best other CPU (%s) %.3f GB/s (%.1fx)",
+			pfplOMP, fastestName, fastestOther, pfplOMP/fastestOther))
+
+	pfplGPU := geoOver(abs, "PFPL-CUDA", Aggregate.comp)
+	cuszp := geoOver(abs, "cuSZp", Aggregate.comp)
+	add(pfplGPU > cuszp, "T1: PFPL-CUDA compresses faster than cuSZp (ABS, modelled)",
+		fmt.Sprintf("%.0f vs %.0f GB/s", pfplGPU, cuszp))
+
+	pfplRatio := geoOver(abs, "PFPL-CUDA", Aggregate.ratio)
+	cuszpRatio := geoOver(abs, "cuSZp", Aggregate.ratio)
+	add(pfplRatio > cuszpRatio,
+		"T1: PFPL-CUDA compresses more than the other GPU codes (ABS)",
+		fmt.Sprintf("geo-mean ratio %.2f vs cuSZp %.2f", pfplRatio, cuszpRatio))
+
+	mgardRatio := geoOver(abs, "MGARD-X", Aggregate.ratio)
+	mgardComp := geoOver(abs, "MGARD-X", Aggregate.comp)
+	add(pfplRatio > mgardRatio && pfplGPU/mgardComp > 10,
+		"T1: PFPL beats MGARD-X (the other CPU/GPU-compatible code) in both ratio and speed",
+		fmt.Sprintf("ratio %.2f vs %.2f; modelled speedup %.0fx (paper: 37x)",
+			pfplRatio, mgardRatio, pfplGPU/mgardComp))
+
+	// Takeaway 2 (REL): PFPL much faster than SZ2; SZ2 compresses more but
+	// violates the bound; ZFP compresses less.
+	sz2Rel := get(rel, "SZ2", 1e-4)
+	pfplRel := get(rel, "PFPL-OMP", 1e-4)
+	zfpRel := geoOver(rel, "ZFP", Aggregate.ratio)
+	pfplRelRatio := geoOver(rel, "PFPL-CUDA", Aggregate.ratio)
+	if sz2Rel != nil && pfplRel != nil {
+		add(pfplRel.CompGBs > sz2Rel.CompGBs,
+			"T2: PFPL-OMP compresses faster than SZ2 on REL",
+			fmt.Sprintf("%.3f vs %.3f GB/s at 1e-4 (paper: 41.4x on average)",
+				pfplRel.CompGBs, sz2Rel.CompGBs))
+		add(sz2Rel.Violations > 0,
+			"T2: SZ2 violates the REL bound on some values; PFPL never does",
+			fmt.Sprintf("SZ2 violations at 1e-4: %d; PFPL: %d", sz2Rel.Violations,
+				get(rel, "PFPL-CUDA", 1e-4).Violations))
+	}
+	add(zfpRel < pfplRelRatio,
+		"T2: ZFP's truncation-based REL compresses less than PFPL",
+		fmt.Sprintf("geo-mean ratio %.2f vs %.2f", zfpRel, pfplRelRatio))
+
+	// Takeaway 3 (NOA): SZ3 best ratio; PFPL best when throughput also
+	// matters (on the Pareto front at every bound).
+	sz3Noa := geoOver(noa, "SZ3-Serial", Aggregate.ratio)
+	pfplNoa := geoOver(noa, "PFPL-CUDA", Aggregate.ratio)
+	add(sz3Noa > pfplNoa,
+		"T3: SZ3 is the best choice when only compression ratio matters (NOA)",
+		fmt.Sprintf("geo-mean ratio %.2f vs PFPL %.2f", sz3Noa, pfplNoa))
+	onFront := true
+	for _, b := range Bounds {
+		a := get(noa, "PFPL-CUDA", b)
+		if a == nil {
+			onFront = false
+			break
+		}
+		for _, other := range noa {
+			if other.Bound != b || other.Compressor == "PFPL-CUDA" {
+				continue
+			}
+			if other.Ratio >= a.Ratio && other.CompGBs >= a.CompGBs {
+				onFront = false
+			}
+		}
+	}
+	add(onFront, "T3: PFPL-CUDA is on the (ratio, throughput) Pareto front at every NOA bound", "")
+
+	passed := 0
+	for _, c := range claims {
+		mark := "FAIL"
+		if c.ok {
+			mark = "ok"
+			passed++
+		}
+		r.Lines = append(r.Lines, fmt.Sprintf("[%-4s] %s", mark, c.text))
+		if c.note != "" {
+			r.Lines = append(r.Lines, "       "+c.note)
+		}
+		r.CSV = append(r.CSV, []string{c.text, mark, c.note})
+	}
+	r.Lines = append(r.Lines, "", fmt.Sprintf("%d of %d takeaway claims reproduced", passed, len(claims)))
+	r.Lines = append(r.Lines, "(see EXPERIMENTS.md for discussion of any deviations)")
+	return r
+}
+
+// metric helpers for geoOver (method expressions).
+func (a Aggregate) comp() float64  { return a.CompGBs }
+func (a Aggregate) ratio() float64 { return a.Ratio }

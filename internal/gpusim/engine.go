@@ -1,0 +1,146 @@
+package gpusim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Block is the execution context a kernel sees for one thread block. The
+// simulator executes the block's threads in lockstep phases: each call to
+// ForEach corresponds to the code between two __syncthreads() barriers in
+// the CUDA implementation, with every thread running the phase to
+// completion in thread order. Because each phase is data-race-free by
+// construction (threads write disjoint locations, as the real kernels
+// must), sequential in-order execution yields exactly the lockstep result.
+type Block struct {
+	// Idx is the block index within the grid (blockIdx.x).
+	Idx int
+	// Threads is the number of threads in the block (blockDim.x).
+	Threads int
+}
+
+// ForEach executes one barrier-delimited phase: fn runs once per thread.
+func (b *Block) ForEach(fn func(t int)) {
+	for t := 0; t < b.Threads; t++ {
+		fn(t)
+	}
+}
+
+// ForEachWarp executes one phase at warp granularity: fn runs once per
+// 32-thread warp (PFPL's bit shuffle operates this way, §III.E).
+func (b *Block) ForEachWarp(fn func(w int)) {
+	warps := (b.Threads + 31) / 32
+	for w := 0; w < warps; w++ {
+		fn(w)
+	}
+}
+
+// Grid launches kernel once per block. Blocks are assigned to workers
+// dynamically through an atomic counter in increasing order — the same
+// discipline the CUDA runtime and PFPL's dynamic chunk assignment follow —
+// which, combined with the decoupled look-back's forward-progress argument,
+// guarantees freedom from deadlock: any block currently waiting can only
+// wait on lower-numbered blocks, and the lowest-numbered unfinished block
+// never waits on an unstarted one.
+// makeKernel is invoked once per worker (per simulated SM) so each worker
+// owns private scratch playing the role of the SM's shared memory.
+func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func() func(b *Block)) {
+	if threadsPerBlock > m.MaxThreadsPerBlock {
+		threadsPerBlock = m.MaxThreadsPerBlock
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		kernel := makeKernel()
+		blk := Block{Threads: threadsPerBlock}
+		for i := 0; i < blocks; i++ {
+			blk.Idx = i
+			kernel(&blk)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kernel := makeKernel()
+			blk := Block{Threads: threadsPerBlock}
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= blocks {
+					return
+				}
+				blk.Idx = i
+				kernel(&blk)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Lookback implements Merrill and Garland's single-pass decoupled look-back
+// prefix scan across blocks. Each block publishes its local aggregate as
+// soon as it is known; to learn its exclusive prefix it walks backwards
+// over predecessor descriptors, summing aggregates until it meets a block
+// whose inclusive prefix is already final.
+type Lookback struct {
+	status []int32 // 0 = invalid, 1 = aggregate ready, 2 = prefix ready
+	value  []int64 // aggregate (status 1) or inclusive prefix (status 2)
+}
+
+// Look-back status codes.
+const (
+	statusInvalid   = 0
+	statusAggregate = 1
+	statusPrefix    = 2
+)
+
+// NewLookback creates descriptors for n blocks.
+func NewLookback(n int) *Lookback {
+	return &Lookback{status: make([]int32, n), value: make([]int64, n)}
+}
+
+// ExclusivePrefix publishes block b's aggregate and resolves the sum of all
+// predecessor aggregates, spinning on not-yet-published descriptors.
+func (lb *Lookback) ExclusivePrefix(b int, aggregate int64) int64 {
+	atomic.StoreInt64(&lb.value[b], aggregate)
+	atomic.StoreInt32(&lb.status[b], statusAggregate)
+	var prefix int64
+	for pred := b - 1; pred >= 0; {
+		st := atomic.LoadInt32(&lb.status[pred])
+		switch st {
+		case statusInvalid:
+			runtime.Gosched()
+		case statusAggregate:
+			prefix += atomic.LoadInt64(&lb.value[pred])
+			pred--
+		case statusPrefix:
+			prefix += atomic.LoadInt64(&lb.value[pred])
+			pred = -1
+		}
+	}
+	// Upgrade this block's descriptor to a final inclusive prefix so later
+	// blocks can stop their look-back here.
+	atomic.StoreInt64(&lb.value[b], prefix+aggregate)
+	atomic.StoreInt32(&lb.status[b], statusPrefix)
+	return prefix
+}
+
+// Total blocks until every descriptor is final and returns the grand total.
+// Call only after the grid has been launched (typically after Grid returns,
+// when it is immediate).
+func (lb *Lookback) Total() int64 {
+	n := len(lb.status)
+	if n == 0 {
+		return 0
+	}
+	for atomic.LoadInt32(&lb.status[n-1]) != statusPrefix {
+		runtime.Gosched()
+	}
+	return atomic.LoadInt64(&lb.value[n-1])
+}

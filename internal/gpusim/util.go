@@ -1,0 +1,8 @@
+package gpusim
+
+import "math"
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

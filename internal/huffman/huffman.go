@@ -1,0 +1,285 @@
+// Package huffman implements a canonical Huffman coder over 16-bit symbols.
+// It is the entropy-coding backend shared by the SZ-style and MGARD-style
+// baseline compressors, standing in for the Huffman(+GZIP/ZSTD) stages those
+// codes use (paper §VI). Huffman coding compresses well but is inherently
+// sequential, which is exactly why the baselines it serves are slower than
+// PFPL's parallelism-friendly pipeline.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"pfpl/internal/bits"
+)
+
+// ErrCorrupt reports a malformed Huffman stream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// maxCodeLen bounds code lengths so the decoder tables stay small. With
+// package-limited alphabets (<= 1<<16) and length-limited construction by
+// frequency flattening, 32 is never exceeded in practice; we enforce 57 as
+// a hard cap from the bit I/O layer.
+const maxCodeLen = 48
+
+type node struct {
+	freq        int64
+	sym         int // -1 for internal
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() (v any)      { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }
+func (h nodeHeap) materialize() *node { return h[0] }
+
+// codeLengths returns the canonical code length per present symbol.
+func codeLengths(freq map[uint16]int64) map[uint16]int {
+	if len(freq) == 0 {
+		return nil
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[uint16]int{s: 1}
+		}
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &node{freq: f, sym: int(s)})
+	}
+	heap.Init(&h)
+	serial := 1 << 16 // internal-node ids after all symbols, deterministic
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, sym: serial, left: a, right: b})
+		serial++
+	}
+	root := h.materialize()
+	lengths := make(map[uint16]int, len(freq))
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			if depth > maxCodeLen {
+				depth = maxCodeLen // flatten pathological tails
+			}
+			lengths[uint16(n.sym)] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonical assigns canonical codes (shorter lengths first, then symbol
+// order) given lengths.
+func canonical(lengths map[uint16]int) (syms []uint16, codes map[uint16]uint64) {
+	syms = make([]uint16, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	codes = make(map[uint16]uint64, len(syms))
+	code := uint64(0)
+	prevLen := 0
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= uint(l - prevLen)
+		codes[s] = code
+		code++
+		prevLen = l
+	}
+	return syms, codes
+}
+
+// Encode compresses syms and returns the stream: a compact code table
+// followed by the bit-packed codes. The table stores, for each code length
+// present, the count and the delta-varint-coded ascending symbol list. The
+// element count is not stored; the caller passes it to Decode.
+func Encode(syms []uint16) []byte {
+	freq := make(map[uint16]int64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	order, codes := canonical(lengths)
+
+	var hdr []byte
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(order)))
+	hdr = append(hdr, tmp[:]...)
+	// order is sorted by (length, symbol), so symbols within one length
+	// run ascend: delta-varint them per length group.
+	i := 0
+	for i < len(order) {
+		l := lengths[order[i]]
+		j := i
+		for j < len(order) && lengths[order[j]] == l {
+			j++
+		}
+		hdr = append(hdr, byte(l))
+		hdr = binary.AppendUvarint(hdr, uint64(j-i))
+		prev := uint64(0)
+		for _, s := range order[i:j] {
+			hdr = binary.AppendUvarint(hdr, uint64(s)-prev)
+			prev = uint64(s)
+		}
+		i = j
+	}
+
+	w := bits.NewWriter(len(syms)/2 + 16)
+	for _, s := range syms {
+		l := uint(lengths[s])
+		c := codes[s]
+		// Codes are MSB-first canonical; emit bit by bit from the top so
+		// the decoder can walk prefix ranges. Lengths are <= maxCodeLen.
+		if l <= 48 {
+			w.WriteBits(reverseBits(c, l), l)
+		}
+	}
+	return append(hdr, w.Bytes()...)
+}
+
+// reverseBits reverses the low n bits of v so an MSB-first code can be
+// emitted through the LSB-first bit writer.
+func reverseBits(v uint64, n uint) uint64 {
+	var r uint64
+	for i := uint(0); i < n; i++ {
+		r = r<<1 | (v>>i)&1
+	}
+	return r
+}
+
+// decoder tables for canonical decoding.
+type decoder struct {
+	firstCode  [maxCodeLen + 1]uint64
+	firstIndex [maxCodeLen + 1]int
+	count      [maxCodeLen + 1]int
+	symbols    []uint16
+	maxLen     int
+}
+
+func newDecoder(order []uint16, lengths []byte) (*decoder, error) {
+	d := &decoder{symbols: order}
+	for i, s := range order {
+		_ = s
+		l := int(lengths[i])
+		if l == 0 || l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		d.count[l]++
+		if l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	code := uint64(0)
+	index := 0
+	for l := 1; l <= d.maxLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.firstIndex[l] = index
+		code += uint64(d.count[l])
+		index += d.count[l]
+	}
+	if code > 1<<uint(d.maxLen) {
+		return nil, ErrCorrupt
+	}
+	return d, nil
+}
+
+// Decode decompresses a stream produced by Encode into n symbols.
+func Decode(buf []byte, n int) ([]uint16, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(buf) < 4 {
+		return nil, ErrCorrupt
+	}
+	numSyms := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if numSyms <= 0 || numSyms > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	order := make([]uint16, 0, numSyms)
+	lengths := make([]byte, 0, numSyms)
+	pos := 0
+	prevLen := -1
+	for len(order) < numSyms {
+		if pos >= len(buf) {
+			return nil, ErrCorrupt
+		}
+		l := buf[pos]
+		pos++
+		if int(l) <= prevLen || l == 0 || int(l) > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		prevLen = int(l)
+		cnt, used := binary.Uvarint(buf[pos:])
+		if used <= 0 || cnt == 0 || int(cnt) > numSyms-len(order) {
+			return nil, ErrCorrupt
+		}
+		pos += used
+		prev := uint64(0)
+		for k := uint64(0); k < cnt; k++ {
+			d, used := binary.Uvarint(buf[pos:])
+			if used <= 0 {
+				return nil, ErrCorrupt
+			}
+			pos += used
+			prev += d
+			if prev > 1<<16-1 || (k > 0 && d == 0) {
+				return nil, ErrCorrupt
+			}
+			order = append(order, uint16(prev))
+			lengths = append(lengths, l)
+		}
+	}
+	d, err := newDecoder(order, lengths)
+	if err != nil {
+		return nil, err
+	}
+	r := bits.NewReader(buf[pos:])
+	out := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		code := uint64(0)
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			code = code<<1 | uint64(b)
+			l++
+			if l > d.maxLen {
+				return nil, ErrCorrupt
+			}
+			if d.count[l] > 0 && code-d.firstCode[l] < uint64(d.count[l]) {
+				out[i] = d.symbols[d.firstIndex[l]+int(code-d.firstCode[l])]
+				break
+			}
+		}
+	}
+	return out, nil
+}

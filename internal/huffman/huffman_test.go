@@ -1,0 +1,111 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func roundtrip(t *testing.T, syms []uint16) []byte {
+	t.Helper()
+	enc := Encode(syms)
+	dec, err := Decode(enc, len(syms))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(syms) {
+		t.Fatalf("got %d symbols, want %d", len(dec), len(syms))
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, dec[i], syms[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundtripSimple(t *testing.T) {
+	roundtrip(t, []uint16{1, 2, 3, 1, 1, 1, 2})
+}
+
+func TestRoundtripSingleSymbol(t *testing.T) {
+	syms := make([]uint16, 1000)
+	for i := range syms {
+		syms[i] = 42
+	}
+	enc := roundtrip(t, syms)
+	if len(enc) > 200 {
+		t.Errorf("constant stream encoded to %d bytes", len(enc))
+	}
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	dec, err := Decode(Encode(nil), 0)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("empty roundtrip: %v, %d", err, len(dec))
+	}
+}
+
+func TestRoundtripSkewed(t *testing.T) {
+	// Geometric distribution — the shape of quantization codes.
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 100000)
+	for i := range syms {
+		s := 0
+		for rng.Float64() < 0.5 && s < 60 {
+			s++
+		}
+		syms[i] = uint16(32768 + s - 30)
+	}
+	enc := roundtrip(t, syms)
+	// Entropy ~2 bits/symbol: expect strong compression vs. 2 bytes/symbol.
+	if len(enc) > len(syms)/2 {
+		t.Errorf("skewed stream compressed only to %d bytes from %d", len(enc), len(syms)*2)
+	}
+}
+
+func TestRoundtripUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]uint16, 20000)
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(1 << 16))
+	}
+	roundtrip(t, syms)
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint16, 5000)
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(100))
+	}
+	a := Encode(syms)
+	b := Encode(syms)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic encoding length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic encoding")
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	syms := []uint16{1, 2, 3, 4, 5, 1, 1, 1}
+	enc := Encode(syms)
+	if _, err := Decode(enc[:3], len(syms)); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decode(enc[:len(enc)-1], 100000); err == nil {
+		t.Error("overlong request accepted")
+	}
+	if _, err := Decode(nil, 5); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), enc...)
+		buf[rng.Intn(len(buf))] ^= byte(1 << uint(rng.Intn(8)))
+		_, _ = Decode(buf, len(syms)) // must not panic
+	}
+}

@@ -1,0 +1,125 @@
+package lcsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]uint32, 256)
+	orig := make([]uint32, 256)
+	for i := range words {
+		words[i] = rng.Uint32()
+		orig[i] = words[i]
+	}
+	for _, c := range Components() {
+		buf := make([]uint32, len(words))
+		copy(buf, words)
+		c.Forward(buf)
+		c.Inverse(buf)
+		for i := range buf {
+			if buf[i] != orig[i] {
+				t.Fatalf("%s: not invertible at %d", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	// 5 components, up to 3 ordered distinct stages: 1 + 5 + 20 + 60 = 86
+	// stage sequences; 2 GPU-friendly terminals or 3 with sequential ones.
+	if n := len(Enumerate(3, true)); n != 172 {
+		t.Fatalf("enumerated %d GPU-friendly candidates, want 172", n)
+	}
+	cands := Enumerate(3, false)
+	if len(cands) != 258 {
+		t.Fatalf("enumerated %d candidates, want 258", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		name := c.Name()
+		if seen[name] {
+			t.Fatalf("duplicate candidate %s", name)
+		}
+		seen[name] = true
+	}
+	if !seen[PFPLPipelineName] {
+		t.Fatalf("PFPL's pipeline %q not in the candidate space", PFPLPipelineName)
+	}
+}
+
+func smooth(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		x := float64(i) * 0.002
+		out[i] = float32(math.Sin(x) + 0.3*math.Cos(5.1*x))
+	}
+	return out
+}
+
+func TestSearchRediscoversPFPLPipeline(t *testing.T) {
+	// The paper's design claim (§III.D): among cheap parallelism-friendly
+	// transforms, delta -> negabinary -> bitshuffle + zero elimination is
+	// the best-compressing composition on smooth scientific data.
+	results, err := Search(smooth(4*16384), 1e-3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	rank := -1
+	var pfplRatio float64
+	for i, r := range results {
+		if r.Pipeline == PFPLPipelineName {
+			rank = i
+			pfplRatio = r.Ratio
+			break
+		}
+	}
+	if rank < 0 {
+		t.Fatal("PFPL pipeline not scored")
+	}
+	if rank > 2 {
+		t.Errorf("PFPL pipeline ranked %d (ratio %.2f); top was %s (%.2f)",
+			rank+1, pfplRatio, results[0].Pipeline, results[0].Ratio)
+	}
+	// And §III.D's removal claim: dropping any stage loses ratio.
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Pipeline] = r.Ratio
+	}
+	for _, reduced := range []string{
+		"negabinary|bitshuffle+zero-elim",
+		"delta|bitshuffle+zero-elim",
+		"delta|negabinary+zero-elim",
+		"delta|negabinary|bitshuffle+raw",
+	} {
+		if byName[reduced] >= pfplRatio {
+			t.Errorf("%s (%.2f) should compress less than the full pipeline (%.2f)",
+				reduced, byName[reduced], pfplRatio)
+		}
+	}
+}
+
+func TestDescribeMarksPFPL(t *testing.T) {
+	results := []Result{
+		{Pipeline: PFPLPipelineName, Ratio: 10},
+		{Pipeline: "identity+raw", Ratio: 1},
+	}
+	lines := Describe(results, 2)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0][0] != '*' {
+		t.Errorf("PFPL line not marked: %q", lines[0])
+	}
+}
+
+func TestSearchBadBound(t *testing.T) {
+	if _, err := Search(smooth(100), 0, 2); err == nil {
+		t.Error("zero bound accepted")
+	}
+}

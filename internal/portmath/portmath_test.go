@@ -1,0 +1,184 @@
+package portmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// relErr returns |a-b| / |b|, treating b == 0 specially.
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestLog2AgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		// Random finite positive values across the full exponent range.
+		x := math.Float64frombits(uint64(rng.Int63n(0x7FF0)) << 48 >> 0 & 0x7FEFFFFFFFFFFFFF)
+		x = math.Abs(x)
+		if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			continue
+		}
+		got := Log2(x)
+		want := math.Log2(x)
+		// Absolute error matters for bin indices; allow a small slack in
+		// ULP-of-result terms.
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("Log2(%g) = %.17g, want %.17g", x, got, want)
+		}
+	}
+}
+
+func TestLog2Exact(t *testing.T) {
+	for e := -1022; e <= 1023; e += 13 {
+		x := math.Ldexp(1, e)
+		if got := Log2(x); got != float64(e) {
+			t.Errorf("Log2(2^%d) = %g, want %d", e, got, e)
+		}
+	}
+	if got := Log2(1); got != 0 {
+		t.Errorf("Log2(1) = %g, want 0", got)
+	}
+}
+
+func TestLog2Denormal(t *testing.T) {
+	x := math.Float64frombits(1) // smallest positive denormal = 2^-1074
+	got := Log2(x)
+	if math.Abs(got-(-1074)) > 1e-9 {
+		t.Errorf("Log2(min denormal) = %g, want -1074", got)
+	}
+}
+
+func TestExp2AgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		x := (rng.Float64() - 0.5) * 2000 // spans most of the binade range
+		got := Exp2(x)
+		want := math.Exp2(x)
+		if want == 0 || math.IsInf(want, 0) {
+			if got != want {
+				t.Fatalf("Exp2(%g) = %g, want %g", x, got, want)
+			}
+			continue
+		}
+		if relErr(got, want) > 1e-13 {
+			t.Fatalf("Exp2(%g) = %.17g, want %.17g (rel %g)", x, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestExp2Exact(t *testing.T) {
+	for e := -1022; e <= 1023; e += 7 {
+		if got, want := Exp2(float64(e)), math.Ldexp(1, e); got != want {
+			t.Errorf("Exp2(%d) = %g, want %g", e, got, want)
+		}
+	}
+}
+
+func TestExp2Saturation(t *testing.T) {
+	if got := Exp2(5000); !math.IsInf(got, 1) {
+		t.Errorf("Exp2(5000) = %g, want +Inf", got)
+	}
+	if got := Exp2(-5000); got != 0 {
+		t.Errorf("Exp2(-5000) = %g, want 0", got)
+	}
+	nan := math.NaN()
+	if got := Exp2(nan); !math.IsNaN(got) {
+		t.Errorf("Exp2(NaN) = %g, want NaN", got)
+	}
+}
+
+func TestExp2Log2Roundtrip(t *testing.T) {
+	f := func(u uint64) bool {
+		x := math.Float64frombits(u & 0x7FEFFFFFFFFFFFFF) // positive finite
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		y := Exp2(Log2(x))
+		return relErr(y, x) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalb(t *testing.T) {
+	cases := []struct {
+		y    float64
+		n    int64
+		want float64
+	}{
+		{1, 0, 1},
+		{1, 10, 1024},
+		{1.5, -1, 0.75},
+		{1, 1024, math.Inf(1)},
+		{1, -1080, 0},
+		{1, -1074, math.Float64frombits(1)},
+		{-1, 3, -8},
+	}
+	for _, c := range cases {
+		if got := Scalb(c.y, c.n); got != c.want {
+			t.Errorf("Scalb(%g, %d) = %g, want %g", c.y, c.n, got, c.want)
+		}
+	}
+	// Cross-check against math.Ldexp on random normal results.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		y := rng.Float64() + 0.5
+		n := int64(rng.Intn(4000) - 2000)
+		got := Scalb(y, n)
+		want := math.Ldexp(y, int(n))
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			// Stepwise scaling may double-round only when passing through
+			// the denormal range; tolerate one-ULP differences there.
+			if want != 0 && !math.IsInf(want, 0) && math.Abs(got-want) <= math.Abs(want)*1e-15 {
+				continue
+			}
+			if math.Float64bits(want)&0x7FF0000000000000 == 0 { // denormal
+				diff := math.Abs(got - want)
+				if diff <= math.Float64frombits(1)*2 {
+					continue
+				}
+			}
+			t.Fatalf("Scalb(%g, %d) = %g, want %g", y, n, got, want)
+		}
+	}
+}
+
+func TestRoundToInt(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int64
+	}{
+		{0, 0}, {0.4, 0}, {0.5, 1}, {0.6, 1}, {1.5, 2},
+		{-0.4, 0}, {-0.5, -1}, {-0.6, -1}, {-1.5, -2},
+		{1e15, 1000000000000000},
+	}
+	for _, c := range cases {
+		if got := RoundToInt(c.x); got != c.want {
+			t.Errorf("RoundToInt(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func BenchmarkLog2(b *testing.B) {
+	x := 1.2345678
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Log2(x)
+	}
+	_ = sink
+}
+
+func BenchmarkExp2(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Exp2(12.345)
+	}
+	_ = sink
+}

@@ -1,0 +1,99 @@
+// Package sdrbench generates deterministic synthetic datasets standing in
+// for the SDRBench input suites of the paper's Table II. The real SDRBench
+// files are multi-hundred-megabyte scientific datasets that cannot ship
+// with this repository; the generators reproduce each suite's statistical
+// character — dimensionality, precision, smoothness, dynamic range, and
+// value distribution — which is what determines relative compressor
+// behaviour. Absolute compression ratios differ from the paper's and are
+// reported as such in EXPERIMENTS.md.
+package sdrbench
+
+import "math"
+
+// rng is a splitmix64 generator: tiny, fast, and stable across platforms so
+// every build regenerates identical datasets.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// norm returns a standard normal variate (Box-Muller).
+func (r *rng) norm() float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	u2 := r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hash3 maps lattice coordinates to a deterministic value in [-1, 1].
+func hash3(seed uint64, x, y, z int) float64 {
+	h := seed
+	h ^= uint64(uint32(x)) * 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9
+	h ^= uint64(uint32(y)) * 0xC2B2AE3D27D4EB4F
+	h = (h ^ (h >> 31)) * 0x94D049BB133111EB
+	h ^= uint64(uint32(z)) * 0x165667B19E3779F9
+	h = (h ^ (h >> 28)) * 0x2545F4914F6CDD1D
+	return float64(int64(h)) / float64(math.MaxInt64) // in [-1, 1]
+}
+
+// smootherstep is the C2-continuous fade used for value-noise
+// interpolation.
+func smootherstep(t float64) float64 {
+	return t * t * t * (t*(t*6-15) + 10)
+}
+
+// valueNoise3 evaluates smooth 3-D value noise at (x, y, z): trilinear
+// interpolation of hashed lattice values with a C2 fade, giving the smooth,
+// spatially correlated structure characteristic of scientific fields.
+func valueNoise3(seed uint64, x, y, z float64) float64 {
+	xi, yi, zi := math.Floor(x), math.Floor(y), math.Floor(z)
+	xf, yf, zf := x-xi, y-yi, z-zi
+	ix, iy, iz := int(xi), int(yi), int(zi)
+	u, v, w := smootherstep(xf), smootherstep(yf), smootherstep(zf)
+
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	c000 := hash3(seed, ix, iy, iz)
+	c100 := hash3(seed, ix+1, iy, iz)
+	c010 := hash3(seed, ix, iy+1, iz)
+	c110 := hash3(seed, ix+1, iy+1, iz)
+	c001 := hash3(seed, ix, iy, iz+1)
+	c101 := hash3(seed, ix+1, iy, iz+1)
+	c011 := hash3(seed, ix, iy+1, iz+1)
+	c111 := hash3(seed, ix+1, iy+1, iz+1)
+	x00 := lerp(c000, c100, u)
+	x10 := lerp(c010, c110, u)
+	x01 := lerp(c001, c101, u)
+	x11 := lerp(c011, c111, u)
+	y0 := lerp(x00, x10, v)
+	y1 := lerp(x01, x11, v)
+	return lerp(y0, y1, w) * 0.5 // roughly [-1, 1]
+}
+
+// fbm3 sums octaves of value noise (fractional Brownian motion), the
+// standard model for turbulent/atmospheric fields.
+func fbm3(seed uint64, x, y, z float64, octaves int) float64 {
+	sum, amp, freq := 0.0, 1.0, 1.0
+	norm := 0.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise3(seed+uint64(o)*1315423911, x*freq, y*freq, z*freq)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}

@@ -1,0 +1,134 @@
+// Package stats provides the evaluation metrics and aggregation rules the
+// paper uses: PSNR and maximum error for reconstruction quality (§V-E),
+// geometric means of per-suite geometric means so suites with more files
+// are not overemphasized (§IV), and Pareto fronts over
+// (compression ratio, throughput) points (§IV).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MSE64 returns the mean squared error between orig and recon.
+func MSE64(orig, recon []float64) float64 {
+	if len(orig) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range orig {
+		d := orig[i] - recon[i]
+		sum += d * d
+	}
+	return sum / float64(len(orig))
+}
+
+// PSNR64 returns the peak signal-to-noise ratio in dB, with the peak taken
+// as the value range of the original data (the convention SDRBench
+// evaluations use). A perfect reconstruction yields +Inf.
+func PSNR64(orig, recon []float64) float64 {
+	mse := MSE64(orig, recon)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range orig {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	rng := mx - mn
+	if rng == 0 {
+		return math.Inf(1)
+	}
+	return 20*math.Log10(rng) - 10*math.Log10(mse)
+}
+
+// PSNR32 converts and delegates to PSNR64.
+func PSNR32(orig, recon []float32) float64 {
+	o := make([]float64, len(orig))
+	r := make([]float64, len(recon))
+	for i := range orig {
+		o[i] = float64(orig[i])
+		r[i] = float64(recon[i])
+	}
+	return PSNR64(o, r)
+}
+
+// MaxAbsErr64 returns the largest absolute pointwise error.
+func MaxAbsErr64(orig, recon []float64) float64 {
+	var worst float64
+	for i := range orig {
+		d := math.Abs(orig[i] - recon[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive and
+// non-finite entries. It returns 0 when nothing qualifies.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if !(x > 0) || math.IsInf(x, 0) {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// GeoMeanOfGroups returns the geometric mean of each group's geometric mean
+// — the paper's aggregation that keeps large suites from dominating (§IV).
+func GeoMeanOfGroups(groups [][]float64) float64 {
+	per := make([]float64, 0, len(groups))
+	for _, g := range groups {
+		if m := GeoMean(g); m > 0 {
+			per = append(per, m)
+		}
+	}
+	return GeoMean(per)
+}
+
+// Point is one scatter-plot entry: compression ratio on X, throughput (or
+// PSNR) on Y.
+type Point struct {
+	Label string
+	X, Y  float64
+}
+
+// ParetoFront returns the indices of the points on the upper-right Pareto
+// front (maximize both coordinates), sorted by X. A point is on the front
+// when no other point is at least as good in both dimensions and strictly
+// better in one (§IV: "it must outperform every other compressor in at
+// least one dimension").
+func ParetoFront(points []Point) []int {
+	idx := make([]int, 0, len(points))
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.X >= p.X && q.Y >= p.Y && (q.X > p.X || q.Y > p.Y) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return points[idx[a]].X < points[idx[b]].X })
+	return idx
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPSNR(t *testing.T) {
+	orig := []float64{0, 1, 2, 3, 4}
+	if got := PSNR64(orig, orig); !math.IsInf(got, 1) {
+		t.Errorf("perfect reconstruction PSNR = %g, want +Inf", got)
+	}
+	recon := []float64{0.1, 1.1, 2.1, 3.1, 4.1}
+	// range 4, mse 0.01 -> 20log10(4) - 10log10(0.01) = 12.04 + 20.
+	want := 20*math.Log10(4) + 20
+	if got := PSNR64(orig, recon); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %g, want %g", got, want)
+	}
+	// Lower error must raise PSNR.
+	better := []float64{0.01, 1.01, 2.01, 3.01, 4.01}
+	if PSNR64(orig, better) <= PSNR64(orig, recon) {
+		t.Error("PSNR not monotone in error")
+	}
+}
+
+func TestPSNR32MatchesPSNR64(t *testing.T) {
+	o32 := []float32{1, 2, 3, 4}
+	r32 := []float32{1.5, 2, 3, 4}
+	o64 := []float64{1, 2, 3, 4}
+	r64 := []float64{1.5, 2, 3, 4}
+	if a, b := PSNR32(o32, r32), PSNR64(o64, r64); math.Abs(a-b) > 1e-9 {
+		t.Errorf("PSNR32 %g != PSNR64 %g", a, b)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean(5) = %g, want 5", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g, want 0", got)
+	}
+	// Non-positive and non-finite entries are skipped.
+	if got := GeoMean([]float64{2, 0, -3, math.Inf(1), 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with junk = %g, want 4", got)
+	}
+}
+
+func TestGeoMeanOfGroups(t *testing.T) {
+	// A large suite of 1s must not drown a small suite of 16s.
+	groups := [][]float64{
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{16},
+	}
+	if got := GeoMeanOfGroups(groups); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMeanOfGroups = %g, want 4", got)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	pts := []Point{
+		{"a", 1, 10},  // front (best Y at low X)
+		{"b", 2, 5},   // front
+		{"c", 1.5, 4}, // dominated by b
+		{"d", 3, 1},   // front (best X)
+		{"e", 0.5, 9}, // dominated by a
+	}
+	front := ParetoFront(pts)
+	want := map[string]bool{"a": true, "b": true, "d": true}
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3", len(front))
+	}
+	for _, i := range front {
+		if !want[pts[i].Label] {
+			t.Errorf("%s should not be on the front", pts[i].Label)
+		}
+	}
+	// Sorted by X.
+	for k := 1; k < len(front); k++ {
+		if pts[front[k]].X < pts[front[k-1]].X {
+			t.Error("front not sorted by X")
+		}
+	}
+}
+
+func TestMaxAbsErr(t *testing.T) {
+	if got := MaxAbsErr64([]float64{1, 2, 3}, []float64{1, 2.5, 2}); got != 1 {
+		t.Errorf("MaxAbsErr = %g, want 1", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package pfpl implements PFPL (Portable Floating-Point Lossy), an
+// error-bounded lossy compressor for single- and double-precision
+// floating-point data, reproducing:
+//
+//	Fallin, Azami, Di, Cappello, Burtscher.
+//	"Fast and Effective Lossy Compression on GPUs and CPUs with Guaranteed
+//	Error Bounds." IPDPS 2025.
+//
+// PFPL supports three point-wise error-bound types — absolute (ABS),
+// relative (REL), and range-normalized absolute (NOA) — and guarantees the
+// requested bound for every value by losslessly storing any value whose
+// quantized reconstruction would violate it. Special values (NaN, ±Inf,
+// denormals) are handled. The compressed stream is bit-for-bit identical
+// across all executors: serial, parallel CPU, and the simulated-GPU device
+// that executes the CUDA formulation of the algorithm.
+//
+// # Quick start
+//
+//	data := []float32{...}
+//	comp, err := pfpl.Compress32(data, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3})
+//	...
+//	out, err := pfpl.Decompress32(comp, nil, pfpl.Options{})
+//
+// Every reconstructed value v' of an original v satisfies, by mode:
+//
+//	ABS: |v - v'| <= Bound
+//	REL: |v - v'| / |v| <= Bound, and v' has the sign of v
+//	NOA: |v - v'| <= Bound * (max(data) - min(data))
+//
+// evaluated in double precision exactly as written.
+package pfpl
+
+import (
+	"pfpl/internal/core"
+	"pfpl/internal/cpucomp"
+)
+
+// Mode selects the error-bound type.
+type Mode = core.Mode
+
+// The three supported point-wise error-bound types (paper §II).
+const (
+	// ABS bounds |x - x'| by the error bound.
+	ABS = core.ABS
+	// REL bounds |x - x'| / |x| by the error bound and preserves the sign.
+	REL = core.REL
+	// NOA bounds |x - x'| by the error bound times the input value range.
+	NOA = core.NOA
+)
+
+// Stream-format and validation errors re-exported for callers using
+// errors.Is.
+var (
+	ErrBadBound   = core.ErrBadBound
+	ErrBoundSmall = core.ErrBoundSmall
+	ErrCorrupt    = core.ErrCorrupt
+)
+
+// Device abstracts where (de)compression executes. Implementations must be
+// bit-compatible: for identical inputs and options, every Device produces
+// the identical compressed stream, and decompressing any stream on any
+// Device yields identical values. This is the paper's central portability
+// property, and the test suite enforces it across all provided devices.
+type Device interface {
+	// Name identifies the device in benchmark output.
+	Name() string
+
+	Compress32(src []float32, mode Mode, bound float64) ([]byte, error)
+	Decompress32(buf []byte, dst []float32) ([]float32, error)
+	Compress64(src []float64, mode Mode, bound float64) ([]byte, error)
+	Decompress64(buf []byte, dst []float64) ([]float64, error)
+}
+
+// Options configures compression and decompression.
+type Options struct {
+	// Mode is the error-bound type (compression only).
+	Mode Mode
+	// Bound is the error bound; it must be positive and finite. For ABS it
+	// must be at least the smallest positive normal value of the data type.
+	Bound float64
+	// Device selects the executor. Nil selects the parallel CPU device.
+	Device Device
+	// Checksum appends a CRC-32C trailer to the compressed stream and
+	// verifies it on decompression, turning silent bit corruption into a
+	// clean error. The trailer is byte-identical across devices.
+	Checksum bool
+}
+
+func (o *Options) device() Device {
+	if o.Device != nil {
+		return o.Device
+	}
+	return CPU(0)
+}
+
+// Compress32 compresses single-precision data.
+func Compress32(src []float32, opts Options) ([]byte, error) {
+	comp, err := opts.device().Compress32(src, opts.Mode, opts.Bound)
+	if err != nil || !opts.Checksum {
+		return comp, err
+	}
+	return core.AppendChecksum(comp)
+}
+
+// Decompress32 decodes a single-precision stream into dst (grown as
+// needed). Mode and Bound in opts are ignored; they come from the stream.
+// Checksummed streams are verified before decoding.
+func Decompress32(buf []byte, dst []float32, opts Options) ([]float32, error) {
+	buf, err := core.VerifyAndStripChecksum(buf)
+	if err != nil {
+		return nil, err
+	}
+	return opts.device().Decompress32(buf, dst)
+}
+
+// Compress64 compresses double-precision data.
+func Compress64(src []float64, opts Options) ([]byte, error) {
+	comp, err := opts.device().Compress64(src, opts.Mode, opts.Bound)
+	if err != nil || !opts.Checksum {
+		return comp, err
+	}
+	return core.AppendChecksum(comp)
+}
+
+// Decompress64 decodes a double-precision stream.
+func Decompress64(buf []byte, dst []float64, opts Options) ([]float64, error) {
+	buf, err := core.VerifyAndStripChecksum(buf)
+	if err != nil {
+		return nil, err
+	}
+	return opts.device().Decompress64(buf, dst)
+}
+
+// Info describes a compressed stream without decoding it.
+type Info struct {
+	Mode     Mode
+	Bound    float64
+	NOARange float64 // input value range (NOA streams)
+	Double   bool    // double-precision elements
+	Raw      bool    // stored losslessly (quantization disabled)
+	Count    int     // number of elements
+	Chunks   int
+	// Checksummed reports whether the stream carries a CRC-32C trailer.
+	Checksummed bool
+}
+
+// Stat parses the header of a compressed stream.
+func Stat(buf []byte) (Info, error) {
+	h, err := core.ParseHeader(buf)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Checksummed: core.HasChecksum(buf),
+		Mode:        h.Mode,
+		Bound:       h.Bound,
+		NOARange:    h.NOARange,
+		Double:      h.Prec64,
+		Raw:         h.Raw,
+		Count:       int(h.Count),
+		Chunks:      h.NumChunks,
+	}, nil
+}
+
+// serialDevice runs everything on the calling goroutine; it is the
+// reference implementation.
+type serialDevice struct{}
+
+func (serialDevice) Name() string { return "PFPL-Serial" }
+
+func (serialDevice) Compress32(src []float32, mode Mode, bound float64) ([]byte, error) {
+	return core.CompressSerial32(src, mode, bound)
+}
+
+func (serialDevice) Decompress32(buf []byte, dst []float32) ([]float32, error) {
+	return core.DecompressSerial32(buf, dst)
+}
+
+func (serialDevice) Compress64(src []float64, mode Mode, bound float64) ([]byte, error) {
+	return core.CompressSerial64(src, mode, bound)
+}
+
+func (serialDevice) Decompress64(buf []byte, dst []float64) ([]float64, error) {
+	return core.DecompressSerial64(buf, dst)
+}
+
+// Serial returns the single-threaded reference device.
+func Serial() Device { return serialDevice{} }
+
+// cpuDevice is the parallel CPU executor (the paper's OpenMP analog).
+type cpuDevice struct{ workers int }
+
+func (d cpuDevice) Name() string { return "PFPL-CPU" }
+
+func (d cpuDevice) Compress32(src []float32, mode Mode, bound float64) ([]byte, error) {
+	return cpucomp.Compress32(src, mode, bound, d.workers)
+}
+
+func (d cpuDevice) Decompress32(buf []byte, dst []float32) ([]float32, error) {
+	return cpucomp.Decompress32(buf, dst, d.workers)
+}
+
+func (d cpuDevice) Compress64(src []float64, mode Mode, bound float64) ([]byte, error) {
+	return cpucomp.Compress64(src, mode, bound, d.workers)
+}
+
+func (d cpuDevice) Decompress64(buf []byte, dst []float64) ([]float64, error) {
+	return cpucomp.Decompress64(buf, dst, d.workers)
+}
+
+// CPU returns the parallel CPU device with the given worker count
+// (0 = one worker per logical CPU).
+func CPU(workers int) Device { return cpuDevice{workers: workers} }

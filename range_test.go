@@ -1,0 +1,77 @@
+package pfpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecompressRange32(t *testing.T) {
+	src := synth32(5*16384+321, 31)
+	comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress32(comp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cases := [][2]int{
+		{0, 10}, {0, len(src)}, {len(src) - 1, 1}, {16384, 16384},
+		{16383, 2}, {100, 0},
+	}
+	for i := 0; i < 50; i++ {
+		off := rng.Intn(len(src))
+		cnt := rng.Intn(len(src) - off)
+		cases = append(cases, [2]int{off, cnt})
+	}
+	for _, c := range cases {
+		got, err := DecompressRange32(comp, c[0], c[1])
+		if err != nil {
+			t.Fatalf("range %v: %v", c, err)
+		}
+		if len(got) != c[1] {
+			t.Fatalf("range %v: got %d values", c, len(got))
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(full[c[0]+i]) {
+				t.Fatalf("range %v: value %d differs from full decode", c, i)
+			}
+		}
+	}
+	// Out-of-bounds requests fail cleanly.
+	for _, c := range [][2]int{{-1, 5}, {0, len(src) + 1}, {len(src), 1}} {
+		if _, err := DecompressRange32(comp, c[0], c[1]); err == nil {
+			t.Errorf("range %v accepted", c)
+		}
+	}
+}
+
+func TestDecompressRange64(t *testing.T) {
+	src := synth64(3*2048+99, 32)
+	comp, err := Compress64(src, Options{Mode: REL, Bound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress64(comp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int{{0, 5}, {2047, 3}, {4000, 2000}, {0, len(src)}} {
+		got, err := DecompressRange64(comp, c[0], c[1])
+		if err != nil {
+			t.Fatalf("range %v: %v", c, err)
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(full[c[0]+i]) {
+				t.Fatalf("range %v: value %d differs", c, i)
+			}
+		}
+	}
+	// Wrong precision rejected.
+	c32, _ := Compress32(synth32(100, 1), Options{Mode: ABS, Bound: 1e-3})
+	if _, err := DecompressRange64(c32, 0, 1); err == nil {
+		t.Error("float32 stream accepted by DecompressRange64")
+	}
+}

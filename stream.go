@@ -1,0 +1,291 @@
+package pfpl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming layer: data is compressed incrementally into a sequence of
+// independent frames, each a complete PFPL container prefixed with its byte
+// length. Frames decompress independently, so a stream can be consumed as
+// it arrives — the scenario of an instrument producing data faster than it
+// can be stored (paper §I).
+//
+// For NOA streams the value range is computed per frame (a whole-stream
+// range would require two passes); the recorded per-frame range makes each
+// frame's guarantee self-contained.
+
+// DefaultFrameValues is the default number of values buffered per frame:
+// large enough to amortize headers, small enough for low latency.
+const DefaultFrameValues = 1 << 20
+
+// ErrClosed reports use of a closed streaming writer.
+var ErrClosed = errors.New("pfpl: writer is closed")
+
+// frame length prefix size.
+const framePrefix = 4
+
+// maxFrameBytes bounds a frame declared by a corrupted stream.
+const maxFrameBytes = 1 << 31
+
+// Writer32 incrementally compresses single-precision values to an
+// io.Writer.
+type Writer32 struct {
+	w      io.Writer
+	opts   Options
+	limit  int
+	buf    []float32
+	closed bool
+}
+
+// NewWriter32 creates a streaming compressor. frameValues <= 0 selects
+// DefaultFrameValues.
+func NewWriter32(w io.Writer, opts Options, frameValues int) (*Writer32, error) {
+	if err := validateStreamOpts(&opts); err != nil {
+		return nil, err
+	}
+	if frameValues <= 0 {
+		frameValues = DefaultFrameValues
+	}
+	return &Writer32{w: w, opts: opts, limit: frameValues}, nil
+}
+
+func validateStreamOpts(opts *Options) error {
+	if !(opts.Bound > 0) {
+		return ErrBadBound
+	}
+	if opts.Mode > NOA {
+		return fmt.Errorf("pfpl: unknown mode %v", opts.Mode)
+	}
+	return nil
+}
+
+// Write buffers vals, flushing complete frames.
+func (w *Writer32) Write(vals []float32) error {
+	if w.closed {
+		return ErrClosed
+	}
+	for len(vals) > 0 {
+		take := w.limit - len(w.buf)
+		if take > len(vals) {
+			take = len(vals)
+		}
+		w.buf = append(w.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(w.buf) == w.limit {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Writer32) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	comp, err := Compress32(w.buf, w.opts)
+	if err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return writeFrame(w.w, comp)
+}
+
+// Close flushes the final partial frame. It does not close the underlying
+// writer.
+func (w *Writer32) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	return w.flush()
+}
+
+// Writer64 is the double-precision streaming compressor.
+type Writer64 struct {
+	w      io.Writer
+	opts   Options
+	limit  int
+	buf    []float64
+	closed bool
+}
+
+// NewWriter64 creates a double-precision streaming compressor.
+func NewWriter64(w io.Writer, opts Options, frameValues int) (*Writer64, error) {
+	if err := validateStreamOpts(&opts); err != nil {
+		return nil, err
+	}
+	if frameValues <= 0 {
+		frameValues = DefaultFrameValues
+	}
+	return &Writer64{w: w, opts: opts, limit: frameValues}, nil
+}
+
+// Write buffers vals, flushing complete frames.
+func (w *Writer64) Write(vals []float64) error {
+	if w.closed {
+		return ErrClosed
+	}
+	for len(vals) > 0 {
+		take := w.limit - len(w.buf)
+		if take > len(vals) {
+			take = len(vals)
+		}
+		w.buf = append(w.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(w.buf) == w.limit {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Writer64) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	comp, err := Compress64(w.buf, w.opts)
+	if err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return writeFrame(w.w, comp)
+}
+
+// Close flushes the final partial frame.
+func (w *Writer64) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	return w.flush()
+}
+
+func writeFrame(w io.Writer, comp []byte) error {
+	var hdr [framePrefix]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(comp)
+	return err
+}
+
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [framePrefix]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, ErrCorrupt
+		}
+		return nil, err // io.EOF: clean end of stream
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n <= 0 || n > maxFrameBytes {
+		return nil, ErrCorrupt
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, ErrCorrupt
+	}
+	return buf, nil
+}
+
+// Reader32 incrementally decompresses a stream produced by Writer32.
+type Reader32 struct {
+	r       io.Reader
+	opts    Options
+	frame   []byte
+	pending []float32
+	err     error
+}
+
+// NewReader32 creates a streaming decompressor.
+func NewReader32(r io.Reader, opts Options) *Reader32 {
+	return &Reader32{r: r, opts: opts}
+}
+
+// Read fills dst with decompressed values, returning the count. It returns
+// io.EOF when the stream is exhausted.
+func (r *Reader32) Read(dst []float32) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	total := 0
+	for total < len(dst) {
+		if len(r.pending) == 0 {
+			frame, err := readFrame(r.r, r.frame)
+			if err != nil {
+				r.err = err
+				if total > 0 && err == io.EOF {
+					return total, nil
+				}
+				return total, err
+			}
+			r.frame = frame
+			vals, err := Decompress32(frame, r.pending[:0], r.opts)
+			if err != nil {
+				r.err = err
+				return total, err
+			}
+			r.pending = vals
+		}
+		n := copy(dst[total:], r.pending)
+		r.pending = r.pending[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Reader64 incrementally decompresses a double-precision stream.
+type Reader64 struct {
+	r       io.Reader
+	opts    Options
+	frame   []byte
+	pending []float64
+	err     error
+}
+
+// NewReader64 creates a double-precision streaming decompressor.
+func NewReader64(r io.Reader, opts Options) *Reader64 {
+	return &Reader64{r: r, opts: opts}
+}
+
+// Read fills dst with decompressed values, returning io.EOF at the end.
+func (r *Reader64) Read(dst []float64) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	total := 0
+	for total < len(dst) {
+		if len(r.pending) == 0 {
+			frame, err := readFrame(r.r, r.frame)
+			if err != nil {
+				r.err = err
+				if total > 0 && err == io.EOF {
+					return total, nil
+				}
+				return total, err
+			}
+			r.frame = frame
+			vals, err := Decompress64(frame, r.pending[:0], r.opts)
+			if err != nil {
+				r.err = err
+				return total, err
+			}
+			r.pending = vals
+		}
+		n := copy(dst[total:], r.pending)
+		r.pending = r.pending[n:]
+		total += n
+	}
+	return total, nil
+}
