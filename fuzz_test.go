@@ -21,8 +21,39 @@ func FuzzDecompress32(f *testing.F) {
 	})
 }
 
+// le32 packs float32 bit patterns into the little-endian byte layout the
+// fuzz targets decode, seeding the corpus with the special-value encoding
+// paths (NaN payloads, ±Inf, denormals, signed zeros).
+func le32(bits ...uint32) []byte {
+	out := make([]byte, 4*len(bits))
+	for i, b := range bits {
+		out[i*4] = byte(b)
+		out[i*4+1] = byte(b >> 8)
+		out[i*4+2] = byte(b >> 16)
+		out[i*4+3] = byte(b >> 24)
+	}
+	return out
+}
+
+func le64(bits ...uint64) []byte {
+	out := make([]byte, 8*len(bits))
+	for i, b := range bits {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(b >> (8 * j))
+		}
+	}
+	return out
+}
+
 func FuzzCompressRoundtrip32(f *testing.F) {
 	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64}, uint8(0))
+	// Specials: quiet/signaling NaNs (both signs, varied payloads), ±Inf,
+	// denormals straddling the smallest-normal boundary, and signed zeros —
+	// each is a distinct lossless-inline encoding path in the quantizers.
+	f.Add(le32(0x7FC00000, 0xFFC00000, 0x7FA55A00, 0xFF800001), uint8(0)) // NaNs
+	f.Add(le32(0x7F800000, 0xFF800000, 0x3F800000, 0x7F800000), uint8(1)) // ±Inf among normals
+	f.Add(le32(0x00000001, 0x807FFFFF, 0x00800000, 0x00400000), uint8(2)) // denormals & min normal
+	f.Add(le32(0x00000000, 0x80000000, 0x7FC00000, 0xFF800000), uint8(1)) // ±0, NaN, -Inf
 	f.Fuzz(func(t *testing.T, raw []byte, modeRaw uint8) {
 		mode := Mode(modeRaw % 3)
 		vals := make([]float32, len(raw)/4)
@@ -42,6 +73,39 @@ func FuzzCompressRoundtrip32(f *testing.F) {
 			t.Fatalf("length %d != %d", len(dec), len(vals))
 		}
 		if v := VerifyBound(vals, dec, mode, 1e-3); v != 0 {
+			t.Fatalf("%d bound violations (mode %v)", v, mode)
+		}
+	})
+}
+
+func FuzzCompressRoundtrip64(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 240, 63, 0, 0, 0, 0, 0, 0, 0, 64}, uint8(0))
+	f.Add(le64(0x7FF8000000000000, 0xFFF8000000000000, 0x7FF00000000000A5, 0xFFF0000000000001), uint8(0)) // NaNs
+	f.Add(le64(0x7FF0000000000000, 0xFFF0000000000000, 0x3FF0000000000000), uint8(1))                     // ±Inf among normals
+	f.Add(le64(0x0000000000000001, 0x800FFFFFFFFFFFFF, 0x0010000000000000), uint8(2))                     // denormals & min normal
+	f.Add(le64(0x0000000000000000, 0x8000000000000000, 0x7FF8000000000000), uint8(1))                     // ±0, NaN
+	f.Fuzz(func(t *testing.T, raw []byte, modeRaw uint8) {
+		mode := Mode(modeRaw % 3)
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits |= uint64(raw[i*8+j]) << (8 * j)
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		comp, err := Compress64(vals, Options{Mode: mode, Bound: 1e-3})
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		dec, err := Decompress64(comp, nil, Options{})
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("length %d != %d", len(dec), len(vals))
+		}
+		if v := VerifyBound64(vals, dec, mode, 1e-3); v != 0 {
 			t.Fatalf("%d bound violations (mode %v)", v, mode)
 		}
 	})

@@ -1,0 +1,254 @@
+// Package conformance is the cross-executor differential-testing harness.
+// It pins down the paper's headline portability claim — serial CPU, parallel
+// CPU, and the simulated-GPU executor emit bit-for-bit identical compressed
+// and decompressed output for all three bound modes — as an executable
+// specification: a deterministic adversarial corpus swept through every
+// executor × mode × precision combination, golden stream digests checked in
+// under testdata/conformance/, and metamorphic properties of the chunked
+// container. Every refactor or optimization PR runs against this package;
+// a silent stream-format change fails the golden test loudly.
+package conformance
+
+import (
+	"math"
+
+	"pfpl/internal/core"
+	"pfpl/internal/sdrbench"
+)
+
+// Entry is one corpus input in both precisions. The two variants share the
+// same generator and seed so a cross-precision encoding bug shows up on
+// structurally identical data.
+type Entry struct {
+	Name string
+	F32  []float32
+	F64  []float64
+	// Heavy marks entries skipped by `go test -short` to keep the quick
+	// sweep fast; the full sweep includes them.
+	Heavy bool
+}
+
+// rng is splitmix64: tiny, seed-stable across Go releases (unlike math/rand,
+// whose generator the standard library is free to change), so the corpus —
+// and therefore the golden vectors — never drifts with the toolchain.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Chunk-boundary sizes: the paper's 16 kB chunk holds 4096 float32 or 2048
+// float64 values, so both executors' edge behavior is probed exactly at and
+// around both boundaries, plus the degenerate sizes.
+var boundarySizes = []int{
+	0, 1,
+	core.ChunkWords64 - 1, core.ChunkWords64, core.ChunkWords64 + 1, // 2047, 2048, 2049
+	core.ChunkWords32 - 1, core.ChunkWords32, core.ChunkWords32 + 1, // 4095, 4096, 4097
+}
+
+// Corpus returns the deterministic adversarial corpus. Every call yields
+// identical data; the golden vectors depend on it byte for byte.
+func Corpus() []Entry {
+	var out []Entry
+
+	// Smooth fields at every chunk-boundary size.
+	for _, n := range boundarySizes {
+		out = append(out, genEntry(entryName("smooth", n), n, 0x5300+uint64(n), genSmooth))
+	}
+
+	// The remaining shapes at one multi-chunk, non-aligned size each.
+	const n = 3*core.ChunkWords32 + 1357
+	out = append(out,
+		genEntry("noise", n, 0xA015E, genNoise),
+		genEntry("const-runs", n, 0xC0457, genConstRuns),
+		genEntry("specials", n, 0x5BEC1A15, genSpecials),
+		genEntry("denormals", n, 0xDE40, genDenormals),
+		genEntry("lognormal", n, 0x10900, genLogNormal),
+		genEntry("all-zero", core.ChunkWords32+3, 0, genZero),
+		genEntry("all-nan", 257, 0, genAllNaN),
+		genEntry("inf-walls", 2*core.ChunkWords64+9, 0x1FF, genInfWalls),
+	)
+
+	// SDRBench-like fields: real suite generators exercise the value
+	// distributions the paper evaluates (smooth climate, high-dynamic-range
+	// cosmology, hydro fronts, amplitude spectra).
+	out = append(out, sdrbenchEntries()...)
+	return out
+}
+
+func entryName(kind string, n int) string {
+	// Stable, readable names: smooth-0, smooth-1, smooth-4096, ...
+	return kind + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// genEntry materializes one shape in both precisions from the same seed.
+func genEntry(name string, n int, seed uint64, gen func(i int, r *rng) float64) Entry {
+	e := Entry{Name: name, F32: make([]float32, n), F64: make([]float64, n)}
+	r32 := rng{state: seed}
+	for i := range e.F32 {
+		e.F32[i] = float32(gen(i, &r32))
+	}
+	r64 := rng{state: seed}
+	for i := range e.F64 {
+		e.F64[i] = gen(i, &r64)
+	}
+	return e
+}
+
+// genSmooth is a low-frequency field with mild detail — the compressible
+// common case.
+func genSmooth(i int, r *rng) float64 {
+	return 40*math.Sin(float64(i)*0.0021) + math.Cos(float64(i)*0.113) + 0.01*r.float()
+}
+
+// genNoise is incompressible white noise in [-1000, 1000): the raw-chunk
+// fallback path.
+func genNoise(_ int, r *rng) float64 {
+	return r.float()*2000 - 1000
+}
+
+// genConstRuns emits long constant plateaus with occasional jumps — the
+// saturation pattern real climate variables show, and a stress for
+// zero-byte elimination.
+func genConstRuns(i int, r *rng) float64 {
+	v := r.float() // keep the two precisions' streams in sync
+	switch (i / 777) % 3 {
+	case 0:
+		return 0
+	case 1:
+		return 273.15
+	default:
+		return -1 + 0.5*v
+	}
+}
+
+// genSpecials injects NaN, ±Inf, and sign flips into a smooth field: the
+// lossless-inline encoding paths for special values.
+func genSpecials(i int, r *rng) float64 {
+	v := r.float()
+	switch {
+	case i%97 == 13:
+		return math.NaN()
+	case i%131 == 7:
+		return math.Inf(1)
+	case i%151 == 11:
+		return math.Inf(-1)
+	case i%61 == 3:
+		return -0.0
+	default:
+		return 5 * math.Sin(float64(i)*0.01*(1+0.01*v))
+	}
+}
+
+// genDenormals mixes denormal magnitudes with tiny normals: ABS/NOA bins live
+// in the denormal range, so denormal inputs probe the inline encoding's
+// reserved space directly. Magnitudes below float32's smallest denormal are
+// also float64 denormals after the float32 round-trip truncates them to zero,
+// which is exactly the asymmetry worth sweeping.
+func genDenormals(i int, r *rng) float64 {
+	m := r.float()
+	switch i % 4 {
+	case 0:
+		return m * 0x1p-130 // float32 denormal range
+	case 1:
+		return -m * 0x1p-140
+	case 2:
+		return m * 0x1p-126 // right at the float32 normal boundary
+	default:
+		return m * 1e-3 // small normals for contrast
+	}
+}
+
+// genLogNormal spans many orders of magnitude — the REL-bound workload.
+func genLogNormal(i int, r *rng) float64 {
+	v := math.Exp(14*r.float() - 7)
+	if i%5 == 0 {
+		v = -v
+	}
+	return v
+}
+
+func genZero(int, *rng) float64   { return 0 }
+func genAllNaN(int, *rng) float64 { return math.NaN() }
+
+// genInfWalls alternates finite ramps with infinite plateaus, forcing the
+// NOA range to infinity (raw-mode fallback) while ABS/REL store the
+// infinities losslessly inline.
+func genInfWalls(i int, r *rng) float64 {
+	if (i/100)%4 == 3 {
+		if i%2 == 0 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
+	return float64(i%100) + r.float()
+}
+
+// sdrbenchEntries draws representative fields from the synthetic SDRBench
+// suites (Table II): one smooth climate field and one high-dynamic-range
+// cosmology field in float32, one hydro field and one amplitude file in
+// float64. The float32 data is widened to float64 (and vice versa truncated)
+// so both precisions see the same structure.
+func sdrbenchEntries() []Entry {
+	var out []Entry
+	take := func(name string, f *sdrbench.File, heavy bool, limit int) {
+		e := Entry{Name: name, Heavy: heavy}
+		if d := f.Data32(); d != nil {
+			if len(d) > limit {
+				d = d[:limit]
+			}
+			e.F32 = d
+			e.F64 = make([]float64, len(d))
+			for i, v := range d {
+				e.F64[i] = float64(v)
+			}
+		} else if d := f.Data64(); d != nil {
+			if len(d) > limit {
+				d = d[:limit]
+			}
+			e.F64 = d
+			e.F32 = make([]float32, len(d))
+			for i, v := range d {
+				e.F32[i] = float32(v)
+			}
+		}
+		out = append(out, e)
+	}
+	suites := sdrbench.Suites(sdrbench.ScaleSmall)
+	for _, s := range suites {
+		switch s.Name {
+		case "CESM-ATM":
+			take("sdrbench-cesm", s.Files[0], true, 1<<20)
+		case "NYX":
+			take("sdrbench-nyx", s.Files[0], true, 1<<20)
+		case "Miranda":
+			take("sdrbench-miranda", s.Files[0], true, 1<<20)
+		case "NWChem":
+			take("sdrbench-nwchem", s.Files[0], true, 64*1024)
+		}
+	}
+	return out
+}

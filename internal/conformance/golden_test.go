@@ -1,0 +1,158 @@
+package conformance
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pfpl"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden conformance vectors")
+
+// goldenPath is the checked-in vector file, at the repository root so the
+// stream-format contract is visible outside this package.
+const goldenPath = "../../testdata/conformance/golden.txt"
+
+// TestGoldenVectors pins the compressed stream format: for every corpus
+// entry × config × precision it compares the SHA-256 of the input bytes and
+// of the serial compressed stream against checked-in vectors. A mismatch in
+// the stream digest with a matching input digest means a refactor changed
+// the stream format — which breaks cross-version decompression and must be
+// deliberate (bump the container version and rerun with -update). Run
+//
+//	go test ./internal/conformance -run TestGoldenVectors -update
+//
+// to regenerate; regeneration requires the full corpus (no -short).
+func TestGoldenVectors(t *testing.T) {
+	if *update && testing.Short() {
+		t.Fatal("-update needs the full corpus; rerun without -short")
+	}
+	type vec struct{ input, stream string }
+	got := map[string]vec{}
+	var keys []string
+	for _, e := range Corpus() {
+		if testing.Short() && e.Heavy {
+			continue
+		}
+		for _, cfg := range Configs() {
+			comp32, err := pfpl.Serial().Compress32(e.F32, cfg.Mode, cfg.Bound)
+			if err != nil {
+				t.Fatalf("%s/%s/f32: %v", e.Name, cfg.Name(), err)
+			}
+			k32 := e.Name + "/" + cfg.Name() + "/f32"
+			got[k32] = vec{input: hashF32(e.F32), stream: hashBytes(comp32)}
+			keys = append(keys, k32)
+
+			comp64, err := pfpl.Serial().Compress64(e.F64, cfg.Mode, cfg.Bound)
+			if err != nil {
+				t.Fatalf("%s/%s/f64: %v", e.Name, cfg.Name(), err)
+			}
+			k64 := e.Name + "/" + cfg.Name() + "/f64"
+			got[k64] = vec{input: hashF64(e.F64), stream: hashBytes(comp64)}
+			keys = append(keys, k64)
+		}
+	}
+
+	if *update {
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString("# PFPL golden conformance vectors.\n")
+		b.WriteString("# key <sha256(input bytes)> <sha256(serial compressed stream)>\n")
+		b.WriteString("# Regenerate: go test ./internal/conformance -run TestGoldenVectors -update\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s %s\n", k, got[k].input, got[k].stream)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden vectors to %s", len(keys), goldenPath)
+		return
+	}
+
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("golden vectors missing (%v); regenerate with -update", err)
+	}
+	defer f.Close()
+	want := map[string]vec{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		want[parts[0]] = vec{input: parts[1], stream: parts[2]}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden vector; new corpus entry? rerun with -update", k)
+			continue
+		}
+		g := got[k]
+		switch {
+		case g.input != w.input:
+			t.Errorf("%s: corpus data changed (input digest %s, golden %s); "+
+				"the corpus must stay deterministic — if the change is deliberate, rerun with -update",
+				k, g.input[:12], w.input[:12])
+		case g.stream != w.stream:
+			t.Errorf("%s: COMPRESSED STREAM FORMAT CHANGED (digest %s, golden %s) on unchanged input; "+
+				"old streams can no longer be decoded — bump the container version or fix the regression",
+				k, g.stream[:12], w.stream[:12])
+		}
+	}
+	// Stale vectors only matter on a full run, where every key is computed.
+	if !testing.Short() {
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Errorf("%s: stale golden vector for a corpus entry that no longer exists; rerun with -update", k)
+			}
+		}
+	}
+}
+
+func hashBytes(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+func hashF32(v []float32) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashF64(v []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,161 @@
+package conformance
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pfpl"
+	"pfpl/internal/core"
+)
+
+// TestConcatenationMetamorphic checks the container's chunk-independence
+// property: because chunks are compressed independently (the basis of every
+// parallel executor), compressing a chunk-aligned prefix and the remaining
+// suffix separately must produce exactly the payload bytes and chunk-size
+// table of compressing the whole input at once. NOA is excluded — its
+// derived bound depends on the whole input's value range, so splitting
+// legitimately changes the streams.
+func TestConcatenationMetamorphic(t *testing.T) {
+	for _, name := range []string{"lognormal", "specials", "const-runs", "noise"} {
+		e := findEntry(t, name)
+		for _, cfg := range Configs() {
+			if cfg.Mode == pfpl.NOA {
+				continue
+			}
+			t.Run(name+"/"+cfg.Name()+"/f32", func(t *testing.T) {
+				split := 2 * core.ChunkWords32
+				whole := mustCompress32(t, e.F32, cfg)
+				pre := mustCompress32(t, e.F32[:split], cfg)
+				suf := mustCompress32(t, e.F32[split:], cfg)
+				checkConcat(t, whole, pre, suf)
+			})
+			t.Run(name+"/"+cfg.Name()+"/f64", func(t *testing.T) {
+				split := 2 * core.ChunkWords64
+				whole := mustCompress64(t, e.F64, cfg)
+				pre := mustCompress64(t, e.F64[:split], cfg)
+				suf := mustCompress64(t, e.F64[split:], cfg)
+				checkConcat(t, whole, pre, suf)
+			})
+		}
+	}
+}
+
+func mustCompress32(t *testing.T, src []float32, cfg Config) []byte {
+	t.Helper()
+	comp, err := pfpl.Serial().Compress32(src, cfg.Mode, cfg.Bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func mustCompress64(t *testing.T, src []float64, cfg Config) []byte {
+	t.Helper()
+	comp, err := pfpl.Serial().Compress64(src, cfg.Mode, cfg.Bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// checkConcat asserts stream whole's chunk payloads and per-chunk sizes are
+// exactly those of pre followed by suf.
+func checkConcat(t *testing.T, whole, pre, suf []byte) {
+	t.Helper()
+	wl, wp := chunkParts(t, whole)
+	pl, pp := chunkParts(t, pre)
+	sl, sp := chunkParts(t, suf)
+	if len(wl) != len(pl)+len(sl) {
+		t.Fatalf("chunk counts: whole %d, parts %d+%d", len(wl), len(pl), len(sl))
+	}
+	for i, l := range append(append([]int{}, pl...), sl...) {
+		if wl[i] != l {
+			t.Fatalf("chunk %d payload length %d in whole, %d in part", i, wl[i], l)
+		}
+	}
+	if !bytes.Equal(wp, append(append([]byte{}, pp...), sp...)) {
+		t.Fatal("concatenated part payloads differ from whole-input payload")
+	}
+}
+
+func chunkParts(t *testing.T, buf []byte) (lengths []int, payload []byte) {
+	t.Helper()
+	h, err := core.ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lengths, _, payload, err = core.ChunkTable(buf, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lengths, payload
+}
+
+// TestRangeWindowMetamorphic checks that DecompressRange of any window is
+// bit-identical to the matching slice of the full decompression, across all
+// three modes, including zero-length windows, chunk-boundary straddles, and
+// windows ending exactly at the stream end.
+func TestRangeWindowMetamorphic(t *testing.T) {
+	e := findEntry(t, "specials")
+	for _, cfg := range Configs() {
+		t.Run(cfg.Name()+"/f32", func(t *testing.T) {
+			comp := mustCompress32(t, e.F32, cfg)
+			full, err := pfpl.Decompress32(comp, nil, pfpl.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(full)
+			for _, w := range windows(n, core.ChunkWords32) {
+				got, err := pfpl.DecompressRange32(comp, w[0], w[1])
+				if err != nil {
+					t.Fatalf("window %v: %v", w, err)
+				}
+				if len(got) != w[1] {
+					t.Fatalf("window %v: got %d values", w, len(got))
+				}
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(full[w[0]+i]) {
+						t.Fatalf("window %v: element %d differs from full decode", w, i)
+					}
+				}
+			}
+		})
+		t.Run(cfg.Name()+"/f64", func(t *testing.T) {
+			comp := mustCompress64(t, e.F64, cfg)
+			full, err := pfpl.Decompress64(comp, nil, pfpl.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(full)
+			for _, w := range windows(n, core.ChunkWords64) {
+				got, err := pfpl.DecompressRange64(comp, w[0], w[1])
+				if err != nil {
+					t.Fatalf("window %v: %v", w, err)
+				}
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(full[w[0]+i]) {
+						t.Fatalf("window %v: element %d differs from full decode", w, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// windows enumerates (offset, count) pairs covering the interesting window
+// geometries for an n-element stream with cw elements per chunk.
+func windows(n, cw int) [][2]int {
+	ws := [][2]int{
+		{0, 0}, {0, n}, {n, 0}, {n - 1, 1}, {0, 1},
+		{cw - 1, 2}, {cw, cw}, {cw / 2, 2 * cw}, {n - cw - 3, cw + 3},
+	}
+	// A deterministic pseudo-random scatter of windows.
+	r := rng{state: 0x51DE}
+	for i := 0; i < 20; i++ {
+		off := int(r.next() % uint64(n))
+		cnt := int(r.next() % uint64(n-off+1))
+		ws = append(ws, [2]int{off, cnt})
+	}
+	return ws
+}

@@ -17,7 +17,10 @@ func DecompressRange32(buf []byte, offset, count int) ([]float32, error) {
 		return nil, ErrCorrupt
 	}
 	n := int(h.Count)
-	if offset < 0 || count < 0 || offset > n || offset+count > n {
+	// count is compared against the remaining span rather than offset+count
+	// against n: the latter can wrap for adversarial counts near MaxInt and
+	// slip past validation into a huge allocation.
+	if offset < 0 || count < 0 || offset > n || count > n-offset {
 		return nil, ErrCorrupt
 	}
 	if count == 0 {
@@ -63,7 +66,8 @@ func DecompressRange64(buf []byte, offset, count int) ([]float64, error) {
 		return nil, ErrCorrupt
 	}
 	n := int(h.Count)
-	if offset < 0 || count < 0 || offset > n || offset+count > n {
+	// See DecompressRange32: guard against offset+count overflow.
+	if offset < 0 || count < 0 || offset > n || count > n-offset {
 		return nil, ErrCorrupt
 	}
 	if count == 0 {

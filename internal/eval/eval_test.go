@@ -9,7 +9,17 @@ import (
 	"pfpl/internal/sdrbench"
 )
 
-func testCfg() Config { return Config{Scale: sdrbench.ScaleSmall, Reps: 1} }
+func testCfg() Config { return capFiles(Config{Scale: sdrbench.ScaleSmall, Reps: 1}) }
+
+// capFiles truncates each suite to one file when the race detector is on,
+// keeping the full eval sweep inside the default go test timeout (see
+// race_on_test.go).
+func capFiles(c Config) Config {
+	if raceEnabled && c.MaxFilesPerSuite == 0 {
+		c.MaxFilesPerSuite = 1
+	}
+	return c
+}
 
 func TestRegistryShape(t *testing.T) {
 	reg := Registry()
@@ -189,7 +199,7 @@ func TestTables(t *testing.T) {
 }
 
 func TestFig16HasPSNR(t *testing.T) {
-	reps := Fig16(Config{Scale: sdrbench.ScaleSmall, Reps: 1})
+	reps := Fig16(testCfg())
 	if len(reps) != 3 {
 		t.Fatalf("got %d PSNR reports, want 3", len(reps))
 	}

@@ -1,0 +1,10 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the race detector is compiled in. The eval
+// sweeps assert statistical shape over deterministic data, not concurrency
+// (the parallel executors get full race coverage in internal/conformance
+// and internal/cpucomp), so under the detector's several-fold slowdown the
+// suites are truncated to stay inside the default go test timeout.
+const raceEnabled = true

@@ -74,6 +74,9 @@ func TestSystem2RegistryUsesA100(t *testing.T) {
 
 func TestTakeawaysReportShape(t *testing.T) {
 	cfg := Config{Scale: sdrbench.ScaleSmall, Reps: 1, MaxFilesPerSuite: 2}
+	if raceEnabled {
+		cfg.MaxFilesPerSuite = 1
+	}
 	r := Takeaways(cfg)
 	txt := r.Text()
 	for _, want := range []string{"T1:", "T2:", "T3:", "takeaway claims reproduced"} {

@@ -75,3 +75,75 @@ func TestDecompressRange64(t *testing.T) {
 		t.Error("float32 stream accepted by DecompressRange64")
 	}
 }
+
+// TestDecompressRangeEdges pins the window-boundary contract: zero-length
+// windows anywhere in [0, n] succeed and return no values, windows ending
+// exactly at the stream end succeed, and every out-of-bounds start/stop —
+// including overflow-bait combinations — returns an error instead of
+// panicking.
+func TestDecompressRangeEdges(t *testing.T) {
+	n := 2*16384 + 7
+	src := synth32(n, 33)
+	comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress32(comp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-length windows: start of stream, chunk boundary, one past the
+	// last element.
+	for _, off := range []int{0, 16384, n - 1, n} {
+		got, err := DecompressRange32(comp, off, 0)
+		if err != nil {
+			t.Errorf("zero-length window at %d: %v", off, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("zero-length window at %d returned %d values", off, len(got))
+		}
+	}
+
+	// Windows ending exactly at the stream end.
+	for _, c := range [][2]int{{n - 1, 1}, {n - 16384, 16384}, {0, n}} {
+		got, err := DecompressRange32(comp, c[0], c[1])
+		if err != nil {
+			t.Fatalf("window %v: %v", c, err)
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(full[c[0]+i]) {
+				t.Fatalf("window %v: element %d differs from full decode", c, i)
+			}
+		}
+	}
+
+	// Out-of-bounds and overflow-bait windows must error, never panic.
+	bad := [][2]int{
+		{-1, 1}, {0, -1}, {-1, -1},
+		{n, 1}, {n + 1, 0}, {0, n + 1}, {n - 1, 2},
+		{math.MaxInt, 1}, {1, math.MaxInt}, {math.MaxInt, math.MaxInt},
+		{math.MinInt, 1}, {1, math.MinInt},
+	}
+	for _, c := range bad {
+		got, err := DecompressRange32(comp, c[0], c[1])
+		if err == nil {
+			t.Errorf("window %v accepted (%d values)", c, len(got))
+		}
+	}
+
+	// Same contract for the double-precision entry point.
+	src64 := synth64(2048+13, 34)
+	comp64, err := Compress64(src64, Options{Mode: NOA, Bound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecompressRange64(comp64, len(src64), 0); err != nil || len(got) != 0 {
+		t.Errorf("zero-length window at end: %v, %d values", err, len(got))
+	}
+	for _, c := range bad {
+		if _, err := DecompressRange64(comp64, c[0], c[1]); err == nil {
+			t.Errorf("window %v accepted by DecompressRange64", c)
+		}
+	}
+}
