@@ -7,6 +7,8 @@ package pfpl_test
 // regenerates the full tables.
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"testing"
 
@@ -109,6 +111,96 @@ func BenchmarkDecompressABS64CPU(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := dev.Decompress64(comp, dst); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- streaming frame pipeline throughput ---
+
+// benchStreamWriter32 measures the pipelined streaming writer. Each frame
+// is compressed by the serial executor so the pipeline's frame-level
+// concurrency is the only parallelism being measured; worker counts
+// 1/2/4/max show the scaling (the output bytes are identical at every
+// count).
+func benchStreamWriter32(b *testing.B, workers int) {
+	src := benchData32(1 << 22)
+	opts := pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3, Device: pfpl.Serial()}
+	sopts := pfpl.StreamOptions{Concurrency: workers, FrameValues: 1 << 17}
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := pfpl.NewWriter32(io.Discard, opts, sopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Write(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamWriter32W1(b *testing.B)   { benchStreamWriter32(b, 1) }
+func BenchmarkStreamWriter32W2(b *testing.B)   { benchStreamWriter32(b, 2) }
+func BenchmarkStreamWriter32W4(b *testing.B)   { benchStreamWriter32(b, 4) }
+func BenchmarkStreamWriter32WMax(b *testing.B) { benchStreamWriter32(b, 0) }
+
+func benchStreamWriter64(b *testing.B, workers int) {
+	src := benchData64(1 << 21)
+	opts := pfpl.Options{Mode: pfpl.ABS, Bound: 1e-6, Device: pfpl.Serial()}
+	sopts := pfpl.StreamOptions{Concurrency: workers, FrameValues: 1 << 16}
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := pfpl.NewWriter64(io.Discard, opts, sopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Write(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamWriter64W1(b *testing.B)   { benchStreamWriter64(b, 1) }
+func BenchmarkStreamWriter64W4(b *testing.B)   { benchStreamWriter64(b, 4) }
+func BenchmarkStreamWriter64WMax(b *testing.B) { benchStreamWriter64(b, 0) }
+
+// BenchmarkStreamReader32 measures the read-ahead decoder: frame N+1 is
+// decompressed while the caller drains frame N.
+func BenchmarkStreamReader32(b *testing.B) {
+	src := benchData32(1 << 22)
+	var sink bytes.Buffer
+	w, err := pfpl.NewWriter32(&sink, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3},
+		pfpl.StreamOptions{FrameValues: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Write(src); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := sink.Bytes()
+	dst := make([]float32, 1<<16)
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pfpl.NewReader32(bytes.NewReader(data), pfpl.Options{})
+		for {
+			_, err := r.Read(dst)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

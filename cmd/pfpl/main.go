@@ -4,18 +4,27 @@
 // Usage:
 //
 //	pfpl -mode abs -bound 1e-3 -in data.f32 -out data.pfpl
+//	pfpl -stream -stream-workers 4 -in data.f32 -out data.pfpls
 //	pfpl -d -in data.pfpl -out restored.f32
 //	pfpl -stat -in data.pfpl
 //
 // Input files for compression are raw little-endian float32 arrays (or
 // float64 with -double). The device flag selects the executor: serial, cpu,
 // or gpu (the simulated RTX 4090).
+//
+// -stream writes a framed stream (independent length-prefixed frames)
+// through the concurrent frame pipeline instead of one monolithic
+// container; -stream-frame sets the values per frame and -stream-workers
+// the number of frames compressed in flight. Framed streams are detected
+// automatically by -d and -stat.
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -25,26 +34,42 @@ import (
 )
 
 func main() {
-	var (
-		mode       = flag.String("mode", "abs", "error-bound type: abs, rel, or noa")
-		bound      = flag.Float64("bound", 1e-3, "error bound")
-		double     = flag.Bool("double", false, "treat input as float64 (compression only)")
-		decompress = flag.Bool("d", false, "decompress instead of compress")
-		stat       = flag.Bool("stat", false, "print stream info and exit")
-		in         = flag.String("in", "", "input file (required)")
-		out        = flag.String("out", "", "output file (required unless -stat)")
-		device     = flag.String("device", "cpu", "executor: serial, cpu, or gpu")
-		checksum   = flag.Bool("sum", false, "append/verify a CRC-32C integrity trailer")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.mode, "mode", "abs", "error-bound type: abs, rel, or noa")
+	flag.Float64Var(&cfg.bound, "bound", 1e-3, "error bound")
+	flag.BoolVar(&cfg.double, "double", false, "treat input as float64 (compression only)")
+	flag.BoolVar(&cfg.decompress, "d", false, "decompress instead of compress")
+	flag.BoolVar(&cfg.stat, "stat", false, "print stream info and exit")
+	flag.StringVar(&cfg.in, "in", "", "input file (required)")
+	flag.StringVar(&cfg.out, "out", "", "output file (required unless -stat)")
+	flag.StringVar(&cfg.device, "device", "cpu", "executor: serial, cpu, or gpu")
+	flag.BoolVar(&cfg.checksum, "sum", false, "append/verify a CRC-32C integrity trailer")
+	flag.BoolVar(&cfg.stream, "stream", false, "compress as a framed stream through the frame pipeline")
+	flag.IntVar(&cfg.streamFrame, "stream-frame", 0, "values per stream frame (0 = default)")
+	flag.IntVar(&cfg.streamWorkers, "stream-workers", 0, "frames compressed concurrently (0 = one per CPU)")
 	flag.Parse()
-	if *in == "" || (*out == "" && !*stat) {
+	if cfg.in == "" || (cfg.out == "" && !cfg.stat) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*mode, *bound, *double, *decompress, *stat, *in, *out, *device, *checksum); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pfpl:", err)
 		os.Exit(1)
 	}
+}
+
+type cliConfig struct {
+	mode          string
+	bound         float64
+	double        bool
+	decompress    bool
+	stat          bool
+	in, out       string
+	device        string
+	checksum      bool
+	stream        bool
+	streamFrame   int
+	streamWorkers int
 }
 
 func pickDevice(name string) (pfpl.Device, error) {
@@ -71,17 +96,31 @@ func pickMode(name string) (pfpl.Mode, error) {
 	return pfpl.ABS, fmt.Errorf("unknown mode %q (want abs, rel, or noa)", name)
 }
 
-func run(modeName string, bound float64, double, decompress, stat bool, in, out, deviceName string, checksum bool) error {
-	dev, err := pickDevice(deviceName)
+// framePrefix is the streaming frame length-prefix size.
+const framePrefix = 4
+
+// isFramed reports whether data is a framed stream: the container magic
+// "PFPL" appears after a 4-byte length prefix instead of at offset 0.
+func isFramed(data []byte) bool {
+	return len(data) >= framePrefix+4 &&
+		string(data[:4]) != "PFPL" &&
+		string(data[framePrefix:framePrefix+4]) == "PFPL"
+}
+
+func run(cfg cliConfig) error {
+	dev, err := pickDevice(cfg.device)
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(in)
+	data, err := os.ReadFile(cfg.in)
 	if err != nil {
 		return err
 	}
 
-	if stat {
+	if cfg.stat {
+		if isFramed(data) {
+			return statStream(data)
+		}
 		info, err := pfpl.Stat(data)
 		if err != nil {
 			return err
@@ -94,7 +133,10 @@ func run(modeName string, bound float64, double, decompress, stat bool, in, out,
 		return nil
 	}
 
-	if decompress {
+	if cfg.decompress {
+		if isFramed(data) {
+			return decompressStream(cfg, dev, data)
+		}
 		info, err := pfpl.Stat(data)
 		if err != nil {
 			return err
@@ -107,22 +149,16 @@ func run(modeName string, bound float64, double, decompress, stat bool, in, out,
 			if err != nil {
 				return err
 			}
-			outBytes = make([]byte, 8*len(vals))
-			for i, v := range vals {
-				binary.LittleEndian.PutUint64(outBytes[i*8:], math.Float64bits(v))
-			}
+			outBytes = f64Bytes(vals)
 		} else {
 			vals, err := pfpl.Decompress32(data, nil, opts)
 			if err != nil {
 				return err
 			}
-			outBytes = make([]byte, 4*len(vals))
-			for i, v := range vals {
-				binary.LittleEndian.PutUint32(outBytes[i*4:], math.Float32bits(v))
-			}
+			outBytes = f32Bytes(vals)
 		}
 		dt := time.Since(t0)
-		if err := os.WriteFile(out, outBytes, 0o644); err != nil {
+		if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("decompressed %d -> %d bytes in %v (%.2f GB/s, %s)\n",
@@ -130,43 +166,216 @@ func run(modeName string, bound float64, double, decompress, stat bool, in, out,
 		return nil
 	}
 
-	mode, err := pickMode(modeName)
+	mode, err := pickMode(cfg.mode)
 	if err != nil {
 		return err
+	}
+	if cfg.stream {
+		return compressStream(cfg, mode, data)
 	}
 	var comp []byte
 	var rawLen int
 	t0 := time.Now()
-	if double {
-		if len(data)%8 != 0 {
-			return fmt.Errorf("input size %d is not a multiple of 8", len(data))
-		}
-		vals := make([]float64, len(data)/8)
-		for i := range vals {
-			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	if cfg.double {
+		vals, err := f64Vals(data)
+		if err != nil {
+			return err
 		}
 		rawLen = len(data)
-		comp, err = pfpl.Compress64(vals, pfpl.Options{Mode: mode, Bound: bound, Device: dev, Checksum: checksum})
+		comp, err = pfpl.Compress64(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum})
+		if err != nil {
+			return err
+		}
 	} else {
-		if len(data)%4 != 0 {
-			return fmt.Errorf("input size %d is not a multiple of 4", len(data))
-		}
-		vals := make([]float32, len(data)/4)
-		for i := range vals {
-			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		vals, err := f32Vals(data)
+		if err != nil {
+			return err
 		}
 		rawLen = len(data)
-		comp, err = pfpl.Compress32(vals, pfpl.Options{Mode: mode, Bound: bound, Device: dev, Checksum: checksum})
-	}
-	if err != nil {
-		return err
+		comp, err = pfpl.Compress32(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum})
+		if err != nil {
+			return err
+		}
 	}
 	dt := time.Since(t0)
-	if err := os.WriteFile(out, comp, 0o644); err != nil {
+	if err := os.WriteFile(cfg.out, comp, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %s)\n",
 		rawLen, len(comp), float64(rawLen)/float64(len(comp)), dt,
 		float64(rawLen)/dt.Seconds()/1e9, dev.Name())
 	return nil
+}
+
+// compressStream writes data through the pipelined streaming writer. The
+// explicit device is respected only when the user picked a non-default
+// one; with the default "cpu" the pipeline's own policy applies (serial
+// per frame under a multi-worker pipeline). The bytes are identical either
+// way.
+func compressStream(cfg cliConfig, mode pfpl.Mode, data []byte) error {
+	opts := pfpl.Options{Mode: mode, Bound: cfg.bound, Checksum: cfg.checksum}
+	if strings.ToLower(cfg.device) != "cpu" && cfg.device != "" {
+		dev, err := pickDevice(cfg.device)
+		if err != nil {
+			return err
+		}
+		opts.Device = dev
+	}
+	sopts := pfpl.StreamOptions{Concurrency: cfg.streamWorkers, FrameValues: cfg.streamFrame}
+	var sink bytes.Buffer
+	t0 := time.Now()
+	if cfg.double {
+		vals, err := f64Vals(data)
+		if err != nil {
+			return err
+		}
+		w, err := pfpl.NewWriter64(&sink, opts, sopts)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(vals); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	} else {
+		vals, err := f32Vals(data)
+		if err != nil {
+			return err
+		}
+		w, err := pfpl.NewWriter32(&sink, opts, sopts)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(vals); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(cfg.out, sink.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %d workers)\n",
+		len(data), sink.Len(), float64(len(data))/float64(sink.Len()), dt,
+		float64(len(data))/dt.Seconds()/1e9, cfg.streamWorkers)
+	return nil
+}
+
+// decompressStream decodes a framed stream with the read-ahead reader,
+// auto-detecting the precision from the first frame's container header.
+func decompressStream(cfg cliConfig, dev pfpl.Device, data []byte) error {
+	info, err := pfpl.Stat(data[framePrefix:])
+	if err != nil {
+		return err
+	}
+	opts := pfpl.Options{Device: dev}
+	t0 := time.Now()
+	var outBytes []byte
+	if info.Double {
+		r := pfpl.NewReader64(bytes.NewReader(data), opts)
+		var vals []float64
+		buf := make([]float64, 1<<16)
+		for {
+			n, err := r.Read(buf)
+			vals = append(vals, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		outBytes = f64Bytes(vals)
+	} else {
+		r := pfpl.NewReader32(bytes.NewReader(data), opts)
+		var vals []float32
+		buf := make([]float32, 1<<16)
+		for {
+			n, err := r.Read(buf)
+			vals = append(vals, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		outBytes = f32Bytes(vals)
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed framed stream %d -> %d bytes in %v (%.2f GB/s)\n",
+		len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9)
+	return nil
+}
+
+// statStream walks the frames of a framed stream and prints a summary.
+func statStream(data []byte) error {
+	frames := 0
+	var values uint64
+	var first pfpl.Info
+	for off := 0; off+framePrefix <= len(data); {
+		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		body := int64(off) + framePrefix
+		if n <= 0 || body+n > int64(len(data)) {
+			return fmt.Errorf("framed stream: frame %d at byte %d truncated or corrupt", frames, off)
+		}
+		info, err := pfpl.Stat(data[body : body+n])
+		if err != nil {
+			return fmt.Errorf("framed stream: frame %d at byte %d: %w", frames, off, err)
+		}
+		if frames == 0 {
+			first = info
+		}
+		frames++
+		values += uint64(info.Count)
+		off = int(body + n)
+	}
+	fmt.Printf("framed stream: frames=%d values=%d mode=%v bound=%g double=%v checksum=%v\n",
+		frames, values, first.Mode, first.Bound, first.Double, first.Checksummed)
+	return nil
+}
+
+func f32Vals(data []byte) ([]float32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("input size %d is not a multiple of 4", len(data))
+	}
+	vals := make([]float32, len(data)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return vals, nil
+}
+
+func f64Vals(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("input size %d is not a multiple of 8", len(data))
+	}
+	vals := make([]float64, len(data)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return vals, nil
+}
+
+func f32Bytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func f64Bytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
 }

@@ -30,14 +30,60 @@ func TestRunCompressDecompressStat(t *testing.T) {
 	}
 	writeF32(t, in, vals)
 
-	if err := run("abs", 1e-3, false, false, false, in, comp, "serial", true); err != nil {
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: comp, device: "serial", checksum: true}); err != nil {
 		t.Fatalf("compress: %v", err)
 	}
-	if err := run("", 0, false, false, true, comp, "", "cpu", false); err != nil {
+	if err := run(cliConfig{stat: true, in: comp, device: "cpu"}); err != nil {
 		t.Fatalf("stat: %v", err)
 	}
-	if err := run("", 0, false, true, false, comp, out, "gpu", false); err != nil {
+	if err := run(cliConfig{decompress: true, in: comp, out: out, device: "gpu"}); err != nil {
 		t.Fatalf("decompress: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(vals)*4 {
+		t.Fatalf("restored %d bytes, want %d", len(restored), len(vals)*4)
+	}
+	for i := range vals {
+		r := math.Float32frombits(binary.LittleEndian.Uint32(restored[i*4:]))
+		if d := math.Abs(float64(vals[i]) - float64(r)); d > 1e-3 {
+			t.Fatalf("value %d error %g", i, d)
+		}
+	}
+}
+
+// TestRunStream drives the framed streaming path: compress through the
+// pipeline, stat auto-detects the framed layout, decompress auto-detects
+// it too and reproduces the values within bound.
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	comp := filepath.Join(dir, "c.pfpls")
+	out := filepath.Join(dir, "out.f32")
+	vals := make([]float32, 10000)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) * 0.003))
+	}
+	writeF32(t, in, vals)
+
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: comp, device: "cpu",
+		stream: true, streamFrame: 1000, streamWorkers: 3}); err != nil {
+		t.Fatalf("stream compress: %v", err)
+	}
+	data, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isFramed(data) {
+		t.Fatal("streamed output not detected as framed")
+	}
+	if err := run(cliConfig{stat: true, in: comp, device: "cpu"}); err != nil {
+		t.Fatalf("stat framed: %v", err)
+	}
+	if err := run(cliConfig{decompress: true, in: comp, out: out, device: "cpu"}); err != nil {
+		t.Fatalf("decompress framed: %v", err)
 	}
 	restored, err := os.ReadFile(out)
 	if err != nil {
@@ -58,13 +104,14 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.f32")
 	writeF32(t, in, []float32{1, 2, 3})
-	if err := run("bogus", 1e-3, false, false, false, in, filepath.Join(dir, "o"), "cpu", false); err == nil {
+	o := filepath.Join(dir, "o")
+	if err := run(cliConfig{mode: "bogus", bound: 1e-3, in: in, out: o, device: "cpu"}); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	if err := run("abs", 1e-3, false, false, false, in, filepath.Join(dir, "o"), "bogus", false); err == nil {
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: o, device: "bogus"}); err == nil {
 		t.Error("bogus device accepted")
 	}
-	if err := run("abs", 1e-3, false, false, false, filepath.Join(dir, "missing"), filepath.Join(dir, "o"), "cpu", false); err == nil {
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: filepath.Join(dir, "missing"), out: o, device: "cpu"}); err == nil {
 		t.Error("missing input accepted")
 	}
 	// Odd-sized input is not a float array.
@@ -72,11 +119,18 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(odd, []byte{1, 2, 3}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("abs", 1e-3, false, false, false, odd, filepath.Join(dir, "o"), "cpu", false); err == nil {
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: odd, out: o, device: "cpu"}); err == nil {
 		t.Error("odd-sized input accepted")
 	}
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: odd, out: o, device: "cpu", stream: true}); err == nil {
+		t.Error("odd-sized input accepted by streaming path")
+	}
+	// Streaming with an invalid bound is rejected by the writer constructor.
+	if err := run(cliConfig{mode: "abs", bound: 0, in: in, out: o, device: "cpu", stream: true}); err == nil {
+		t.Error("zero bound accepted by streaming path")
+	}
 	// Decompressing garbage fails cleanly.
-	if err := run("abs", 1e-3, false, true, false, in, filepath.Join(dir, "o"), "cpu", false); err == nil {
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, decompress: true, in: in, out: o, device: "cpu"}); err == nil {
 		t.Error("garbage stream accepted for decompression")
 	}
 }
@@ -93,10 +147,39 @@ func TestRunDouble(t *testing.T) {
 	if err := os.WriteFile(in, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("noa", 1e-3, true, false, false, in, comp, "cpu", true); err != nil {
+	if err := run(cliConfig{mode: "noa", bound: 1e-3, double: true, in: in, out: comp, device: "cpu", checksum: true}); err != nil {
 		t.Fatalf("compress: %v", err)
 	}
-	if err := run("", 0, false, true, false, comp, out, "serial", false); err != nil {
+	if err := run(cliConfig{decompress: true, in: comp, out: out, device: "serial"}); err != nil {
 		t.Fatalf("decompress: %v", err)
+	}
+}
+
+// TestRunStreamDouble roundtrips a double-precision framed stream.
+func TestRunStreamDouble(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "c.pfpls")
+	out := filepath.Join(dir, "out.f64")
+	buf := make([]byte, 8*5000)
+	for i := 0; i < 5000; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(math.Sin(float64(i)*0.02)))
+	}
+	if err := os.WriteFile(in, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cliConfig{mode: "rel", bound: 1e-2, double: true, in: in, out: comp, device: "cpu",
+		stream: true, streamFrame: 700, streamWorkers: 2, checksum: true}); err != nil {
+		t.Fatalf("stream compress: %v", err)
+	}
+	if err := run(cliConfig{decompress: true, in: comp, out: out, device: "cpu"}); err != nil {
+		t.Fatalf("decompress framed: %v", err)
+	}
+	restored, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 8*5000 {
+		t.Fatalf("restored %d bytes, want %d", len(restored), 8*5000)
 	}
 }

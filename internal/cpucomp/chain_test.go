@@ -1,0 +1,53 @@
+package cpucomp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestChainOrder races many workers completing in arbitrary order and
+// checks that emission follows submission order exactly.
+func TestChainOrder(t *testing.T) {
+	const items = 500
+	ch := NewChain()
+	var mu sync.Mutex
+	var emitted []int
+	var wg sync.WaitGroup
+	for i := 0; i < items; i++ {
+		turn, done := ch.Link()
+		wg.Add(1)
+		go func(i int, turn <-chan struct{}, done chan struct{}) {
+			defer wg.Done()
+			// Do some scheduling-dependent "work" so completion order is
+			// scrambled relative to submission order.
+			for j := 0; j < (i*7919)%97; j++ {
+				_ = j
+			}
+			<-turn
+			mu.Lock()
+			emitted = append(emitted, i)
+			mu.Unlock()
+			close(done)
+		}(i, turn, done)
+	}
+	wg.Wait()
+	if len(emitted) != items {
+		t.Fatalf("emitted %d items, want %d", len(emitted), items)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emission order broken at %d: got item %d", i, v)
+		}
+	}
+}
+
+// TestChainFirstTurnReady verifies the first link never blocks.
+func TestChainFirstTurnReady(t *testing.T) {
+	turn, done := NewChain().Link()
+	select {
+	case <-turn:
+	default:
+		t.Fatal("first link's turn not immediately ready")
+	}
+	close(done)
+}

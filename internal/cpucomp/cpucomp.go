@@ -28,23 +28,33 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// carry is the shared carry array: carry[c] holds the absolute output offset
+// Carry is the shared carry array: Carry[c] holds the absolute output offset
 // where chunk c's payload starts, or 0 while unknown. Offset 0 is never a
 // valid payload position because the header and chunk table precede it.
-type carry struct {
+//
+// Carry is the fine-grained (spin-waiting) half of the ordered-concatenation
+// decomposition this package is built on; Chain is the coarse-grained
+// (blocking) half used by the streaming frame pipeline. Both preserve the
+// invariant that concurrently produced units are emitted strictly in index
+// order, so the output bytes never depend on scheduling.
+type Carry struct {
 	off []int64
 }
 
-func newCarry(numChunks int, payloadStart int) *carry {
-	ca := &carry{off: make([]int64, numChunks+1)}
+// NewCarry creates a carry array for numChunks chunks whose first payload
+// byte is at payloadStart.
+func NewCarry(numChunks int, payloadStart int) *Carry {
+	ca := &Carry{off: make([]int64, numChunks+1)}
 	if numChunks >= 0 {
 		atomic.StoreInt64(&ca.off[0], int64(payloadStart))
 	}
 	return ca
 }
 
-// wait spins until chunk c's start offset has been published.
-func (ca *carry) wait(c int) int64 {
+// Wait spins until chunk c's start offset has been published. Spinning (with
+// Gosched) is right at chunk granularity: a 16 kB chunk encodes in
+// microseconds, so parking the goroutine would cost more than the wait.
+func (ca *Carry) Wait(c int) int64 {
 	for {
 		v := atomic.LoadInt64(&ca.off[c])
 		if v != 0 {
@@ -54,8 +64,8 @@ func (ca *carry) wait(c int) int64 {
 	}
 }
 
-// publish records that chunk c ends (and chunk c+1 begins) at offset end.
-func (ca *carry) publish(c int, end int64) {
+// Publish records that chunk c ends (and chunk c+1 begins) at offset end.
+func (ca *Carry) Publish(c int, end int64) {
 	atomic.StoreInt64(&ca.off[c+1], end)
 }
 
@@ -83,7 +93,7 @@ func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]by
 	// Worst case: every chunk stored raw.
 	out = append(out, make([]byte, len(src)*4)...)
 
-	ca := newCarry(h.NumChunks, payloadStart)
+	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
 	nw := Workers(workers)
 	var wg sync.WaitGroup
@@ -101,16 +111,16 @@ func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]by
 				hi := min(lo+core.ChunkWords32, len(src))
 				payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
 				core.PutChunkSize(out, c, len(payload), raw)
-				start := ca.wait(c)
+				start := ca.Wait(c)
 				copy(out[start:], payload)
-				ca.publish(c, start+int64(len(payload)))
+				ca.Publish(c, start+int64(len(payload)))
 			}
 		}()
 	}
 	wg.Wait()
 	end := payloadStart
 	if h.NumChunks > 0 {
-		end = int(ca.wait(h.NumChunks))
+		end = int(ca.Wait(h.NumChunks))
 	}
 	return out[:end], nil
 }
@@ -173,7 +183,7 @@ func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]by
 	payloadStart := len(out)
 	out = append(out, make([]byte, len(src)*8)...)
 
-	ca := newCarry(h.NumChunks, payloadStart)
+	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
 	nw := Workers(workers)
 	var wg sync.WaitGroup
@@ -191,16 +201,16 @@ func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]by
 				hi := min(lo+core.ChunkWords64, len(src))
 				payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
 				core.PutChunkSize(out, c, len(payload), raw)
-				start := ca.wait(c)
+				start := ca.Wait(c)
 				copy(out[start:], payload)
-				ca.publish(c, start+int64(len(payload)))
+				ca.Publish(c, start+int64(len(payload)))
 			}
 		}()
 	}
 	wg.Wait()
 	end := payloadStart
 	if h.NumChunks > 0 {
-		end = int(ca.wait(h.NumChunks))
+		end = int(ca.Wait(h.NumChunks))
 	}
 	return out[:end], nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Streaming layer: data is compressed incrementally into a sequence of
@@ -12,6 +13,15 @@ import (
 // length. Frames decompress independently, so a stream can be consumed as
 // it arrives — the scenario of an instrument producing data faster than it
 // can be stored (paper §I).
+//
+// Frames are also the streaming unit of parallelism: Writer32/64 hand full
+// frames to a bounded worker pool and emit the compressed frames strictly
+// in order through a chained token (internal/cpucomp.Chain), the same
+// ordered-concatenation decomposition the parallel CPU executor uses for
+// chunks. The byte stream is therefore bit-identical regardless of the
+// worker count, including the serial case. Reader32/64 mirror this with a
+// single-frame read-ahead: frame N+1 is fetched and decompressed while the
+// caller drains frame N.
 //
 // For NOA streams the value range is computed per frame (a whole-stream
 // range would require two passes); the recorded per-frame range makes each
@@ -27,29 +37,43 @@ var ErrClosed = errors.New("pfpl: writer is closed")
 // frame length prefix size.
 const framePrefix = 4
 
-// maxFrameBytes bounds a frame declared by a corrupted stream.
-const maxFrameBytes = 1 << 31
+// maxFrameBytes bounds a frame declared by a corrupted stream. It is typed
+// int64 so the bound (2^31) is expressible on 32-bit targets, where int
+// cannot hold it; readFrame additionally caps frames at the platform's int
+// range so a declared length always fits a slice length.
+const maxFrameBytes int64 = 1 << 31
 
-// Writer32 incrementally compresses single-precision values to an
-// io.Writer.
-type Writer32 struct {
-	w      io.Writer
-	opts   Options
-	limit  int
-	buf    []float32
-	closed bool
+// maxFrameValues caps StreamOptions.FrameValues so a worst-case frame
+// (every chunk stored raw, double precision, plus container overhead)
+// stays below maxFrameBytes on every platform.
+const maxFrameValues = 1 << 27
+
+// StreamOptions configures the streaming frame pipeline shared by the
+// writers and, for the read-ahead decoder, the readers. The zero value is
+// ready to use: one compression worker per logical CPU and
+// DefaultFrameValues values per frame.
+type StreamOptions struct {
+	// Concurrency is the number of frames compressed concurrently;
+	// <= 0 selects one worker per logical CPU. The output bytes are
+	// identical for every setting — concurrency changes only who
+	// compresses each frame, never its content or position.
+	Concurrency int
+	// FrameValues is the number of values buffered per frame; <= 0 selects
+	// DefaultFrameValues. Values above the portable frame-size cap (2^27)
+	// are clamped so a frame's byte length always fits the 32-bit frame
+	// prefix, even in the worst raw-storage case.
+	FrameValues int
 }
 
-// NewWriter32 creates a streaming compressor. frameValues <= 0 selects
-// DefaultFrameValues.
-func NewWriter32(w io.Writer, opts Options, frameValues int) (*Writer32, error) {
-	if err := validateStreamOpts(&opts); err != nil {
-		return nil, err
+func (o StreamOptions) frameValues() int {
+	fv := o.FrameValues
+	if fv <= 0 {
+		fv = DefaultFrameValues
 	}
-	if frameValues <= 0 {
-		frameValues = DefaultFrameValues
+	if fv > maxFrameValues {
+		fv = maxFrameValues
 	}
-	return &Writer32{w: w, opts: opts, limit: frameValues}, nil
+	return fv
 }
 
 func validateStreamOpts(opts *Options) error {
@@ -62,112 +86,80 @@ func validateStreamOpts(opts *Options) error {
 	return nil
 }
 
-// Write buffers vals, flushing complete frames.
-func (w *Writer32) Write(vals []float32) error {
-	if w.closed {
-		return ErrClosed
+// frameCompressOptions picks the per-frame executor. An explicit Device is
+// respected. With the default (nil) device, a multi-worker pipeline
+// compresses each frame with the serial executor — the pipeline itself
+// supplies the parallelism, and nesting the parallel CPU device inside
+// every worker would only oversubscribe the scheduler — while a
+// single-worker pipeline keeps the parallel CPU device so one stream still
+// uses the whole machine. Either choice yields identical bytes (the
+// library's cross-executor bit-identity, enforced by internal/conformance).
+func frameCompressOptions(opts Options, workers int) Options {
+	if opts.Device == nil && workers > 1 {
+		opts.Device = Serial()
 	}
-	for len(vals) > 0 {
-		take := w.limit - len(w.buf)
-		if take > len(vals) {
-			take = len(vals)
-		}
-		w.buf = append(w.buf, vals[:take]...)
-		vals = vals[take:]
-		if len(w.buf) == w.limit {
-			if err := w.flush(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return opts
 }
 
-func (w *Writer32) flush() error {
-	if len(w.buf) == 0 {
-		return nil
-	}
-	comp, err := Compress32(w.buf, w.opts)
-	if err != nil {
-		return err
-	}
-	w.buf = w.buf[:0]
-	return writeFrame(w.w, comp)
+// Writer32 incrementally compresses single-precision values to an
+// io.Writer through the frame pipeline. Methods must not be called
+// concurrently; the pipeline's concurrency is internal.
+type Writer32 struct {
+	s streamWriter[float32]
 }
 
-// Close flushes the final partial frame. It does not close the underlying
-// writer.
-func (w *Writer32) Close() error {
-	if w.closed {
-		return ErrClosed
-	}
-	w.closed = true
-	return w.flush()
-}
-
-// Writer64 is the double-precision streaming compressor.
-type Writer64 struct {
-	w      io.Writer
-	opts   Options
-	limit  int
-	buf    []float64
-	closed bool
-}
-
-// NewWriter64 creates a double-precision streaming compressor.
-func NewWriter64(w io.Writer, opts Options, frameValues int) (*Writer64, error) {
+// NewWriter32 creates a streaming compressor. The zero StreamOptions
+// selects one worker per logical CPU and DefaultFrameValues per frame.
+func NewWriter32(w io.Writer, opts Options, sopts StreamOptions) (*Writer32, error) {
 	if err := validateStreamOpts(&opts); err != nil {
 		return nil, err
 	}
-	if frameValues <= 0 {
-		frameValues = DefaultFrameValues
-	}
-	return &Writer64{w: w, opts: opts, limit: frameValues}, nil
+	workers := streamWorkers(sopts.Concurrency)
+	copts := frameCompressOptions(opts, workers)
+	enc := func(vals []float32) ([]byte, error) { return Compress32(vals, copts) }
+	sw := &Writer32{}
+	sw.s.init(w, enc, sopts.frameValues(), workers)
+	return sw, nil
 }
 
-// Write buffers vals, flushing complete frames.
-func (w *Writer64) Write(vals []float64) error {
-	if w.closed {
-		return ErrClosed
-	}
-	for len(vals) > 0 {
-		take := w.limit - len(w.buf)
-		if take > len(vals) {
-			take = len(vals)
-		}
-		w.buf = append(w.buf, vals[:take]...)
-		vals = vals[take:]
-		if len(w.buf) == w.limit {
-			if err := w.flush(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+// Write buffers vals, handing complete frames to the pipeline. A sticky
+// pipeline error (the first frame's compression or write error, in frame
+// order) is returned as soon as it is known.
+func (w *Writer32) Write(vals []float32) error { return w.s.write(vals) }
+
+// Close flushes the final partial frame, waits for all in-flight frames to
+// drain, and returns the pipeline's first error exactly once; subsequent
+// calls return ErrClosed. It does not close the underlying writer.
+func (w *Writer32) Close() error { return w.s.close() }
+
+// Writer64 is the double-precision streaming compressor.
+type Writer64 struct {
+	s streamWriter[float64]
 }
 
-func (w *Writer64) flush() error {
-	if len(w.buf) == 0 {
-		return nil
+// NewWriter64 creates a double-precision streaming compressor.
+func NewWriter64(w io.Writer, opts Options, sopts StreamOptions) (*Writer64, error) {
+	if err := validateStreamOpts(&opts); err != nil {
+		return nil, err
 	}
-	comp, err := Compress64(w.buf, w.opts)
-	if err != nil {
-		return err
-	}
-	w.buf = w.buf[:0]
-	return writeFrame(w.w, comp)
+	workers := streamWorkers(sopts.Concurrency)
+	copts := frameCompressOptions(opts, workers)
+	enc := func(vals []float64) ([]byte, error) { return Compress64(vals, copts) }
+	sw := &Writer64{}
+	sw.s.init(w, enc, sopts.frameValues(), workers)
+	return sw, nil
 }
 
-// Close flushes the final partial frame.
-func (w *Writer64) Close() error {
-	if w.closed {
-		return ErrClosed
-	}
-	w.closed = true
-	return w.flush()
-}
+// Write buffers vals, handing complete frames to the pipeline.
+func (w *Writer64) Write(vals []float64) error { return w.s.write(vals) }
+
+// Close flushes the final partial frame and drains the pipeline.
+func (w *Writer64) Close() error { return w.s.close() }
 
 func writeFrame(w io.Writer, comp []byte) error {
+	if int64(len(comp)) > maxFrameBytes {
+		return fmt.Errorf("pfpl: frame of %d bytes exceeds the %d-byte frame limit", len(comp), maxFrameBytes)
+	}
 	var hdr [framePrefix]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -177,115 +169,84 @@ func writeFrame(w io.Writer, comp []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+// frameErr wraps err with the frame index and starting byte offset so a
+// truncated- or corrupted-stream report pinpoints where decoding failed.
+// errors.Is against the wrapped error (typically ErrCorrupt) keeps working.
+func frameErr(idx int, off int64, err error) error {
+	return fmt.Errorf("pfpl: frame %d at byte %d: %w", idx, off, err)
+}
+
+// readFrame reads one length-prefixed frame into buf (grown as needed).
+// idx and off — the frame's index and starting byte offset in the stream —
+// only label errors. A clean end of stream is reported as bare io.EOF; any
+// truncation or implausible length is ErrCorrupt wrapped with the frame
+// position.
+func readFrame(r io.Reader, buf []byte, idx int, off int64) ([]byte, error) {
 	var hdr [framePrefix]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, ErrCorrupt
+			return nil, frameErr(idx, off, ErrCorrupt) // truncated length prefix
 		}
 		return nil, err // io.EOF: clean end of stream
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n <= 0 || n > maxFrameBytes {
-		return nil, ErrCorrupt
+	// The declared length is compared in int64: maxFrameBytes (2^31) does
+	// not fit int on 32-bit targets, and a length above the platform's int
+	// range could not back a slice there either.
+	n := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if n <= 0 || n > maxFrameBytes || n > math.MaxInt {
+		return nil, frameErr(idx, off, ErrCorrupt)
 	}
-	if cap(buf) < n {
+	if int64(cap(buf)) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, ErrCorrupt
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = ErrCorrupt // frame body cut short
+		}
+		return nil, frameErr(idx, off, err)
 	}
 	return buf, nil
 }
 
-// Reader32 incrementally decompresses a stream produced by Writer32.
+// Reader32 incrementally decompresses a stream produced by Writer32. While
+// the caller drains one frame, the next is already being read and
+// decompressed in the background; frame and value buffers are recycled
+// through a sync.Pool. Methods must not be called concurrently.
 type Reader32 struct {
-	r       io.Reader
-	opts    Options
-	frame   []byte
-	pending []float32
-	err     error
+	s streamReader[float32]
 }
 
 // NewReader32 creates a streaming decompressor.
 func NewReader32(r io.Reader, opts Options) *Reader32 {
-	return &Reader32{r: r, opts: opts}
+	rd := &Reader32{}
+	rd.s.init(r, func(frame []byte, dst []float32) ([]float32, error) {
+		return Decompress32(frame, dst, opts)
+	})
+	return rd
 }
 
 // Read fills dst with decompressed values, returning the count. It returns
-// io.EOF when the stream is exhausted.
-func (r *Reader32) Read(dst []float32) (int, error) {
-	if r.err != nil {
-		return 0, r.err
-	}
-	total := 0
-	for total < len(dst) {
-		if len(r.pending) == 0 {
-			frame, err := readFrame(r.r, r.frame)
-			if err != nil {
-				r.err = err
-				if total > 0 && err == io.EOF {
-					return total, nil
-				}
-				return total, err
-			}
-			r.frame = frame
-			vals, err := Decompress32(frame, r.pending[:0], r.opts)
-			if err != nil {
-				r.err = err
-				return total, err
-			}
-			r.pending = vals
-		}
-		n := copy(dst[total:], r.pending)
-		r.pending = r.pending[n:]
-		total += n
-	}
-	return total, nil
-}
+// io.EOF when the stream is exhausted. A zero-length dst reports the
+// reader's sticky state: (0, nil) on a healthy stream, the sticky error
+// (io.EOF, ErrCorrupt, ...) once one has occurred.
+func (r *Reader32) Read(dst []float32) (int, error) { return r.s.read(dst) }
 
-// Reader64 incrementally decompresses a double-precision stream.
+// Reader64 incrementally decompresses a double-precision stream with the
+// same single-frame read-ahead as Reader32.
 type Reader64 struct {
-	r       io.Reader
-	opts    Options
-	frame   []byte
-	pending []float64
-	err     error
+	s streamReader[float64]
 }
 
 // NewReader64 creates a double-precision streaming decompressor.
 func NewReader64(r io.Reader, opts Options) *Reader64 {
-	return &Reader64{r: r, opts: opts}
+	rd := &Reader64{}
+	rd.s.init(r, func(frame []byte, dst []float64) ([]float64, error) {
+		return Decompress64(frame, dst, opts)
+	})
+	return rd
 }
 
-// Read fills dst with decompressed values, returning io.EOF at the end.
-func (r *Reader64) Read(dst []float64) (int, error) {
-	if r.err != nil {
-		return 0, r.err
-	}
-	total := 0
-	for total < len(dst) {
-		if len(r.pending) == 0 {
-			frame, err := readFrame(r.r, r.frame)
-			if err != nil {
-				r.err = err
-				if total > 0 && err == io.EOF {
-					return total, nil
-				}
-				return total, err
-			}
-			r.frame = frame
-			vals, err := Decompress64(frame, r.pending[:0], r.opts)
-			if err != nil {
-				r.err = err
-				return total, err
-			}
-			r.pending = vals
-		}
-		n := copy(dst[total:], r.pending)
-		r.pending = r.pending[n:]
-		total += n
-	}
-	return total, nil
-}
+// Read fills dst with decompressed values, returning io.EOF at the end. A
+// zero-length dst reports the reader's sticky state.
+func (r *Reader64) Read(dst []float64) (int, error) { return r.s.read(dst) }

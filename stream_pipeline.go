@@ -1,0 +1,304 @@
+package pfpl
+
+// The streaming frame pipeline. Frames are independent compression units
+// (each a complete PFPL container), so they parallelize exactly like the
+// CPU executor's chunks: a bounded pool of workers compresses frames
+// concurrently while a chained token (cpucomp.Chain) serializes emission
+// into submission order. The emitted byte stream is bit-identical to
+// serial emission for every worker count, which internal/conformance pins
+// with golden SHA-256 vectors over streamed output.
+//
+// Error determinism: an error is only recorded at a frame's emission turn,
+// and turns are taken strictly in frame order, so the first failing frame
+// (compress or write) in *frame order* wins no matter how workers are
+// scheduled. Once an error is recorded, later frames drain through the
+// chain without compressing or writing, and Close reports the error.
+
+import (
+	"io"
+	"sync"
+
+	"pfpl/internal/cpucomp"
+)
+
+// streamWorkers resolves a requested concurrency: <= 0 means one worker
+// per logical CPU.
+func streamWorkers(requested int) int {
+	return cpucomp.Workers(requested)
+}
+
+// frameJob is one frame handed to the worker pool, with its emission-order
+// token pair from the chain.
+type frameJob[T any] struct {
+	vals []T
+	turn <-chan struct{}
+	done chan struct{}
+}
+
+// framePipe is the bounded, order-preserving compression pipeline behind
+// Writer32/64.
+type framePipe[T any] struct {
+	dst   io.Writer
+	enc   func([]T) ([]byte, error)
+	jobs  chan frameJob[T]
+	wg    sync.WaitGroup
+	chain *cpucomp.Chain
+	// pool recycles frame value buffers: a worker returns a frame's buffer
+	// after compressing it, and the writer's next fill takes it back.
+	pool  sync.Pool
+	limit int
+
+	mu  sync.Mutex
+	err error
+}
+
+func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), limit, workers int) *framePipe[T] {
+	p := &framePipe[T]{
+		dst:   dst,
+		enc:   enc,
+		chain: cpucomp.NewChain(),
+		// The job queue bounds frames in flight: at most `workers` queued
+		// plus `workers` being compressed, so memory stays proportional to
+		// the concurrency, not the stream length.
+		jobs:  make(chan frameJob[T], workers),
+		limit: limit,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *framePipe[T]) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		var comp []byte
+		var err error
+		if p.firstErr() == nil { // after a failure, drain without compressing
+			comp, err = p.enc(j.vals)
+		}
+		p.pool.Put(j.vals[:0])
+		<-j.turn
+		if p.firstErr() == nil {
+			switch {
+			case err != nil:
+				p.fail(err)
+			case comp != nil:
+				if werr := writeFrame(p.dst, comp); werr != nil {
+					p.fail(werr)
+				}
+			}
+		}
+		close(j.done)
+	}
+}
+
+// submit hands one complete frame to the pool, blocking while the pipeline
+// is full. Must be called from the single writer goroutine: submission
+// order defines emission order via the chain.
+func (p *framePipe[T]) submit(vals []T) {
+	turn, done := p.chain.Link()
+	p.jobs <- frameJob[T]{vals: vals, turn: turn, done: done}
+}
+
+// close stops the workers and returns the pipeline's first error.
+func (p *framePipe[T]) close() error {
+	close(p.jobs)
+	p.wg.Wait()
+	return p.firstErr()
+}
+
+func (p *framePipe[T]) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *framePipe[T]) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// getBuf returns an empty frame buffer with the frame capacity, recycled
+// when the pool has one.
+func (p *framePipe[T]) getBuf() []T {
+	if v := p.pool.Get(); v != nil {
+		return v.([]T)
+	}
+	return make([]T, 0, p.limit)
+}
+
+// streamWriter is the shared implementation of Writer32/64: it slices the
+// caller's values into frames of exactly `limit` values (identical
+// partitioning to the serial writer, so the frame contents never depend on
+// write-call boundaries) and feeds them to the pipe.
+type streamWriter[T any] struct {
+	pipe   *framePipe[T]
+	buf    []T
+	limit  int
+	closed bool
+}
+
+func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), limit, workers int) {
+	w.limit = limit
+	w.pipe = newFramePipe(dst, enc, limit, workers)
+}
+
+func (w *streamWriter[T]) write(vals []T) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.pipe.firstErr(); err != nil {
+		return err
+	}
+	for len(vals) > 0 {
+		if w.buf == nil {
+			w.buf = w.pipe.getBuf()
+		}
+		take := min(w.limit-len(w.buf), len(vals))
+		w.buf = append(w.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(w.buf) == w.limit {
+			w.pipe.submit(w.buf)
+			w.buf = nil
+			if err := w.pipe.firstErr(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *streamWriter[T]) close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		w.pipe.submit(w.buf)
+	}
+	w.buf = nil
+	return w.pipe.close()
+}
+
+// fetched is one decoded frame (or terminal error) delivered by the
+// read-ahead goroutine.
+type fetched[T any] struct {
+	vals []T
+	buf  []byte // frame byte buffer, returned for reuse
+	n    int64  // stream bytes consumed (prefix + body)
+	err  error
+}
+
+// streamReader is the shared implementation of Reader32/64. It keeps
+// exactly one frame in flight: after frame N is received, a goroutine is
+// launched that reads and decompresses frame N+1 while the caller drains
+// N. The goroutine writes its single result into a buffered channel and
+// exits, so an abandoned reader leaks nothing beyond one parked result.
+type streamReader[T any] struct {
+	src io.Reader
+	dec func(frame []byte, dst []T) ([]T, error)
+
+	next  chan fetched[T]
+	frame int   // index of the next frame to be received
+	off   int64 // byte offset of the next frame to be received
+	buf   []byte
+	pool  sync.Pool // recycled value buffers
+
+	pending []T // unread tail of the current frame
+	retired []T // current frame's full buffer, returned to pool when drained
+	err     error
+}
+
+func (r *streamReader[T]) init(src io.Reader, dec func([]byte, []T) ([]T, error)) {
+	r.src = src
+	r.dec = dec
+}
+
+// launch starts the read-ahead for the next frame. The goroutine owns
+// r.buf and the popped value buffer until its result is received.
+func (r *streamReader[T]) launch() {
+	buf := r.buf
+	r.buf = nil
+	var vals []T
+	if v := r.pool.Get(); v != nil {
+		vals = v.([]T)
+	}
+	idx, off := r.frame, r.off
+	go func() {
+		frame, err := readFrame(r.src, buf, idx, off)
+		if err != nil {
+			r.next <- fetched[T]{err: err}
+			return
+		}
+		out, err := r.dec(frame, vals[:0])
+		if err != nil {
+			r.next <- fetched[T]{err: frameErr(idx, off, err)}
+			return
+		}
+		r.next <- fetched[T]{vals: out, buf: frame, n: framePrefix + int64(len(frame))}
+	}()
+}
+
+// fetch returns the next decoded frame, launching the following frame's
+// read-ahead before returning so decompression overlaps the caller's
+// drain.
+func (r *streamReader[T]) fetch() fetched[T] {
+	if r.next == nil { // first use: prime the pipeline
+		r.next = make(chan fetched[T], 1)
+		r.launch()
+	}
+	f := <-r.next
+	if f.err != nil {
+		return f
+	}
+	r.frame++
+	r.off += f.n
+	r.buf = f.buf
+	r.launch()
+	return f
+}
+
+func (r *streamReader[T]) read(dst []T) (int, error) {
+	if len(dst) == 0 {
+		// Surface the sticky state instead of hiding it behind (0, nil):
+		// a zero-length read on an exhausted or corrupt stream reports the
+		// same error a non-empty read would.
+		return 0, r.err
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	total := 0
+	for total < len(dst) {
+		if len(r.pending) == 0 {
+			f := r.fetch()
+			if f.err != nil {
+				r.err = f.err
+				if total > 0 && f.err == io.EOF {
+					return total, nil
+				}
+				return total, f.err
+			}
+			if len(f.vals) == 0 { // empty frame: recycle and keep going
+				if f.vals != nil {
+					r.pool.Put(f.vals[:0])
+				}
+				continue
+			}
+			r.pending, r.retired = f.vals, f.vals
+		}
+		n := copy(dst[total:], r.pending)
+		r.pending = r.pending[n:]
+		total += n
+		if len(r.pending) == 0 && r.retired != nil {
+			r.pool.Put(r.retired[:0])
+			r.pending, r.retired = nil, nil
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,365 @@
+package pfpl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// serialStream32 is the reference streamed encoding: each frame compressed
+// on the calling goroutine and emitted with its length prefix, no pipeline
+// involved. The pipelined writer must reproduce these bytes exactly.
+func serialStream32(t *testing.T, vals []float32, opts Options, frameValues int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for lo := 0; lo < len(vals); lo += frameValues {
+		hi := min(lo+frameValues, len(vals))
+		comp, err := Compress32(vals[lo:hi], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [framePrefix]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
+		out.Write(hdr[:])
+		out.Write(comp)
+	}
+	return out.Bytes()
+}
+
+func serialStream64(t *testing.T, vals []float64, opts Options, frameValues int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for lo := 0; lo < len(vals); lo += frameValues {
+		hi := min(lo+frameValues, len(vals))
+		comp, err := Compress64(vals[lo:hi], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [framePrefix]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
+		out.Write(hdr[:])
+		out.Write(comp)
+	}
+	return out.Bytes()
+}
+
+// raggedWrite32 feeds vals to the writer in deliberately uneven slices so
+// frame boundaries never coincide with Write-call boundaries.
+func raggedWrite32(t *testing.T, w *Writer32, vals []float32) {
+	t.Helper()
+	for lo := 0; lo < len(vals); {
+		hi := min(lo+1+(lo*7919)%977, len(vals))
+		if err := w.Write(vals[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+}
+
+func raggedWrite64(t *testing.T, w *Writer64, vals []float64) {
+	t.Helper()
+	for lo := 0; lo < len(vals); {
+		hi := min(lo+1+(lo*7919)%977, len(vals))
+		if err := w.Write(vals[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+}
+
+// TestPipelinedMatchesSerial pins the tentpole guarantee: the pipelined
+// writer's byte stream is identical to serial frame-by-frame emission for
+// every worker count × frame size × mode × precision combination.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	configs := []struct {
+		mode  Mode
+		bound float64
+	}{
+		{ABS, 1e-3},
+		{REL, 1e-2},
+		{NOA, 1e-4},
+	}
+	frameSizes := []int{1, 2047, 4096, DefaultFrameValues}
+	workerCounts := []int{1, 2, 7, 0} // 0 = GOMAXPROCS
+	src32 := synth32(5000, 77)
+	src64 := synth64(5000, 78)
+
+	for _, cfg := range configs {
+		opts := Options{Mode: cfg.mode, Bound: cfg.bound}
+		for _, fv := range frameSizes {
+			if fv == 1 && testing.Short() {
+				continue // 5000 single-value frames × all worker counts is the slow cell
+			}
+			ref32 := serialStream32(t, src32, opts, fv)
+			ref64 := serialStream64(t, src64, opts, fv)
+			for _, wk := range workerCounts {
+				name := fmt.Sprintf("%v/frame=%d/workers=%d", cfg.mode, fv, wk)
+				sopts := StreamOptions{Concurrency: wk, FrameValues: fv}
+				t.Run(name+"/f32", func(t *testing.T) {
+					var sink bytes.Buffer
+					w, err := NewWriter32(&sink, opts, sopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					raggedWrite32(t, w, src32)
+					if err := w.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(sink.Bytes(), ref32) {
+						t.Fatalf("pipelined stream differs from serial (%d vs %d bytes)",
+							sink.Len(), len(ref32))
+					}
+				})
+				t.Run(name+"/f64", func(t *testing.T) {
+					var sink bytes.Buffer
+					w, err := NewWriter64(&sink, opts, sopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					raggedWrite64(t, w, src64)
+					if err := w.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(sink.Bytes(), ref64) {
+						t.Fatalf("pipelined stream differs from serial (%d vs %d bytes)",
+							sink.Len(), len(ref64))
+					}
+				})
+			}
+		}
+	}
+}
+
+// failAfterWriter fails every Write once the byte budget is spent.
+type failAfterWriter struct {
+	budget int
+	err    error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.budget < len(p) {
+		return 0, w.err
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestStreamWriterWriteError checks error determinism: the first frame
+// whose emission fails reports the sink's error, Write turns sticky, and
+// Close propagates the error exactly once.
+func TestStreamWriterWriteError(t *testing.T) {
+	src := synth32(20000, 79)
+	sinkErr := errors.New("sink full")
+	for _, wk := range []int{1, 7} {
+		sink := &failAfterWriter{budget: 3000, err: sinkErr}
+		w, err := NewWriter32(sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{Concurrency: wk, FrameValues: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var writeErr error
+		for lo := 0; lo < len(src); lo += 1000 {
+			if writeErr = w.Write(src[lo : lo+1000]); writeErr != nil {
+				break
+			}
+		}
+		closeErr := w.Close()
+		if !errors.Is(closeErr, sinkErr) {
+			t.Fatalf("workers=%d: Close returned %v, want the sink error", wk, closeErr)
+		}
+		if writeErr != nil && !errors.Is(writeErr, sinkErr) {
+			t.Fatalf("workers=%d: Write surfaced %v, want the sink error", wk, writeErr)
+		}
+		if err := w.Write(src[:1]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("workers=%d: Write after Close returned %v", wk, err)
+		}
+		if err := w.Close(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("workers=%d: second Close returned %v, want ErrClosed", wk, err)
+		}
+	}
+}
+
+// TestStreamWriterCompressError routes a per-frame compression failure
+// (ABS bound below float32's smallest normal) through the pipeline.
+func TestStreamWriterCompressError(t *testing.T) {
+	src := synth32(4000, 80)
+	w, err := NewWriter32(io.Discard, Options{Mode: ABS, Bound: 1e-40}, StreamOptions{Concurrency: 4, FrameValues: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := w.Write(src)
+	cerr := w.Close()
+	if !errors.Is(cerr, ErrBoundSmall) {
+		t.Fatalf("Close returned %v, want ErrBoundSmall", cerr)
+	}
+	if werr != nil && !errors.Is(werr, ErrBoundSmall) {
+		t.Fatalf("Write surfaced %v, want ErrBoundSmall", werr)
+	}
+}
+
+// buildStream32 returns a healthy two-frame stream and the byte offset of
+// the second frame.
+func buildStream32(t *testing.T, frameValues, n int) ([]byte, int64) {
+	t.Helper()
+	var sink bytes.Buffer
+	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{Concurrency: 1, FrameValues: frameValues})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(synth32(n, 81)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := sink.Bytes()
+	frame0 := int64(binary.LittleEndian.Uint32(data[:framePrefix]))
+	return data, framePrefix + frame0
+}
+
+// TestZeroLengthReadSurfacesError pins the len(dst)==0 bugfix: a
+// zero-length read must report the sticky error instead of (0, nil).
+func TestZeroLengthReadSurfacesError(t *testing.T) {
+	data, _ := buildStream32(t, 100, 200)
+
+	// Healthy reader: zero-length read is a clean no-op.
+	r := NewReader32(bytes.NewReader(data), Options{})
+	if n, err := r.Read(nil); n != 0 || err != nil {
+		t.Fatalf("zero-length read on healthy stream: (%d, %v)", n, err)
+	}
+
+	// At EOF the sticky io.EOF must surface.
+	buf := make([]float32, 200)
+	for {
+		if _, err := r.Read(buf); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Read(nil); err != io.EOF {
+		t.Fatalf("zero-length read at EOF returned %v, want io.EOF", err)
+	}
+
+	// After ErrCorrupt the sticky corruption error must surface.
+	r = NewReader32(bytes.NewReader(data[:len(data)-3]), Options{})
+	var readErr error
+	for {
+		_, readErr = r.Read(buf)
+		if readErr != nil {
+			break
+		}
+	}
+	if !errors.Is(readErr, ErrCorrupt) {
+		t.Fatalf("truncated stream returned %v, want ErrCorrupt", readErr)
+	}
+	if _, err := r.Read(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-length read after corruption returned %v, want the sticky ErrCorrupt", err)
+	}
+}
+
+// TestFrameErrorContext pins the readFrame bugfix: corruption errors name
+// the frame index and byte offset while staying errors.Is-compatible.
+func TestFrameErrorContext(t *testing.T) {
+	data, frame1Off := buildStream32(t, 100, 200)
+
+	// Truncate inside the second frame's body.
+	r := NewReader32(bytes.NewReader(data[:len(data)-3]), Options{})
+	buf := make([]float32, 200)
+	var err error
+	for {
+		if _, err = r.Read(buf); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	want := fmt.Sprintf("frame 1 at byte %d", frame1Off)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+
+	// Truncate inside the second frame's length prefix.
+	r = NewReader32(bytes.NewReader(data[:frame1Off+2]), Options{})
+	for {
+		if _, err = r.Read(buf); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), want) {
+		t.Fatalf("truncated prefix: got %q, want ErrCorrupt naming %q", err, want)
+	}
+}
+
+// TestFrameLengthBounds pins the 32-bit-safe frame-length validation: a
+// declared length of zero or above maxFrameBytes is corruption, reported
+// with frame context.
+func TestFrameLengthBounds(t *testing.T) {
+	for _, declared := range []uint32{0, 1<<31 + 1, 0xFFFFFFFF} {
+		var raw [8]byte
+		binary.LittleEndian.PutUint32(raw[:4], declared)
+		r := NewReader32(bytes.NewReader(raw[:]), Options{})
+		_, err := r.Read(make([]float32, 8))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("declared length %d: got %v, want ErrCorrupt", declared, err)
+		}
+		if !strings.Contains(err.Error(), "frame 0 at byte 0") {
+			t.Fatalf("declared length %d: error %q lacks frame context", declared, err)
+		}
+	}
+}
+
+// TestStreamReadAheadRoundtrip exercises the reader pipeline across many
+// frames and drain patterns, double precision included.
+func TestStreamReadAheadRoundtrip(t *testing.T) {
+	src := synth64(30000, 82)
+	var sink bytes.Buffer
+	w, err := NewWriter64(&sink, Options{Mode: ABS, Bound: 1e-6}, StreamOptions{FrameValues: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raggedWrite64(t, w, src)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader64(bytes.NewReader(sink.Bytes()), Options{})
+	got := make([]float64, 0, len(src))
+	buf := make([]float64, 700)
+	for i := 0; ; i++ {
+		// Drain sizes that straddle frame boundaries in varying ways.
+		buf = buf[:1+(i*131)%700]
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(src) {
+		t.Fatalf("read %d values, want %d", len(got), len(src))
+	}
+	if v := VerifyBound64(src, got, ABS, 1e-6); v != 0 {
+		t.Fatalf("%d bound violations", v)
+	}
+}
+
+// TestStreamWorkersResolution checks the GOMAXPROCS default.
+func TestStreamWorkersResolution(t *testing.T) {
+	if got := streamWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("streamWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := streamWorkers(3); got != 3 {
+		t.Fatalf("streamWorkers(3) = %d", got)
+	}
+	// FrameValues above the portable cap is clamped, not rejected.
+	if fv := (StreamOptions{FrameValues: 1 << 30}).frameValues(); fv != maxFrameValues {
+		t.Fatalf("frameValues clamp: got %d, want %d", fv, maxFrameValues)
+	}
+}

@@ -10,7 +10,7 @@ import (
 func TestStreamRoundtrip32(t *testing.T) {
 	src := synth32(250000, 40)
 	var sink bytes.Buffer
-	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, 60000)
+	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 60000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestStreamRoundtrip32(t *testing.T) {
 func TestStreamRoundtrip64(t *testing.T) {
 	src := synth64(50000, 41)
 	var sink bytes.Buffer
-	w, err := NewWriter64(&sink, Options{Mode: REL, Bound: 1e-2}, 16000)
+	w, err := NewWriter64(&sink, Options{Mode: REL, Bound: 1e-2}, StreamOptions{FrameValues: 16000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestStreamNOAPerFrameRange(t *testing.T) {
 	// NOA frames carry their own range: two frames with different ranges
 	// must each honor their local bound.
 	var sink bytes.Buffer
-	w, err := NewWriter32(&sink, Options{Mode: NOA, Bound: 1e-3}, 1000)
+	w, err := NewWriter32(&sink, Options{Mode: NOA, Bound: 1e-3}, StreamOptions{FrameValues: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestStreamNOAPerFrameRange(t *testing.T) {
 
 func TestStreamEmpty(t *testing.T) {
 	var sink bytes.Buffer
-	w, _ := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, 0)
+	w, _ := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{})
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestStreamEmpty(t *testing.T) {
 func TestStreamCorrupt(t *testing.T) {
 	src := synth32(5000, 42)
 	var sink bytes.Buffer
-	w, _ := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, 2000)
+	w, _ := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 2000})
 	_ = w.Write(src)
 	_ = w.Close()
 	data := sink.Bytes()
@@ -171,7 +171,7 @@ func TestStreamCorrupt(t *testing.T) {
 		t.Log("corruption not detected (landed in value payload)")
 	}
 	// Bad options rejected.
-	if _, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 0}, 0); err == nil {
+	if _, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 0}, StreamOptions{}); err == nil {
 		t.Error("zero bound accepted")
 	}
 }
