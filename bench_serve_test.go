@@ -1,0 +1,93 @@
+package pfpl_test
+
+// Server-path throughput benchmarks: the same signal as the executor
+// benchmarks pushed through the HTTP service end to end (admission,
+// slot gate, pooled executor, full-duplex streaming), at 1, 4, and
+// GOMAXPROCS concurrent clients. Baseline numbers for this machine live
+// in results/BENCH_serve.json.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pfpl/internal/server"
+)
+
+// serveBenchValues is the per-request payload: 1 Mi float32 (4 MB raw).
+const serveBenchValues = 1 << 20
+
+func benchServeCompress(b *testing.B, clients int) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	raw := make([]byte, serveBenchValues*4)
+	for i, v := range benchData32(serveBenchValues) {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	url := ts.URL + "/v1/compress?mode=abs&bound=1e-3"
+	// One warm-up request so pool and transport setup stay out of the
+	// measurement.
+	if err := serveOnce(url, raw); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	per := b.N / clients
+	extra := b.N % clients
+	for c := 0; c < clients; c++ {
+		n := per
+		if c < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := serveOnce(url, raw); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
+func serveOnce(url string, raw []byte) error {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func BenchmarkServeCompress1Client(b *testing.B) { benchServeCompress(b, 1) }
+func BenchmarkServeCompress4Clients(b *testing.B) {
+	benchServeCompress(b, 4)
+}
+func BenchmarkServeCompressMaxClients(b *testing.B) {
+	benchServeCompress(b, max(1, runtime.GOMAXPROCS(0)))
+}

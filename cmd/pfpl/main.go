@@ -7,6 +7,7 @@
 //	pfpl -stream -stream-workers 4 -in data.f32 -out data.pfpls
 //	pfpl -d -in data.pfpl -out restored.f32
 //	pfpl -stat -in data.pfpl
+//	pfpl serve -addr :8080
 //
 // Input files for compression are raw little-endian float32 arrays (or
 // float64 with -double). The device flag selects the executor: serial, cpu,
@@ -17,6 +18,10 @@
 // container; -stream-frame sets the values per frame and -stream-workers
 // the number of frames compressed in flight. Framed streams are detected
 // automatically by -d and -stat.
+//
+// The serve subcommand runs the bounded-concurrency HTTP service (see
+// internal/server); -metrics prints the batch run's instrumentation —
+// the same registry shape the service exposes at /metrics — to stderr.
 package main
 
 import (
@@ -31,9 +36,17 @@ import (
 	"time"
 
 	"pfpl"
+	"pfpl/internal/server/metrics"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pfpl serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg cliConfig
 	flag.StringVar(&cfg.mode, "mode", "abs", "error-bound type: abs, rel, or noa")
 	flag.Float64Var(&cfg.bound, "bound", 1e-3, "error bound")
@@ -47,12 +60,21 @@ func main() {
 	flag.BoolVar(&cfg.stream, "stream", false, "compress as a framed stream through the frame pipeline")
 	flag.IntVar(&cfg.streamFrame, "stream-frame", 0, "values per stream frame (0 = default)")
 	flag.IntVar(&cfg.streamWorkers, "stream-workers", 0, "frames compressed concurrently (0 = one per CPU)")
+	var withMetrics bool
+	flag.BoolVar(&withMetrics, "metrics", false, "print a JSON metrics summary of the run to stderr")
 	flag.Parse()
 	if cfg.in == "" || (cfg.out == "" && !cfg.stat) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(cfg); err != nil {
+	if withMetrics {
+		cfg.reg = metrics.New()
+	}
+	err := run(cfg)
+	if cfg.reg != nil {
+		fmt.Fprint(os.Stderr, cfg.reg.String())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfpl:", err)
 		os.Exit(1)
 	}
@@ -70,6 +92,22 @@ type cliConfig struct {
 	stream        bool
 	streamFrame   int
 	streamWorkers int
+	reg           *metrics.Registry
+}
+
+// recordBatch feeds a batch run's numbers into the same metric names the
+// HTTP service exposes, so one dashboard reads both paths.
+func recordBatch(reg *metrics.Registry, op string, bytesIn, bytesOut int, dt time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("requests." + op + ".cli.ok").Add(1)
+	reg.Counter("bytes.in").Add(int64(bytesIn))
+	reg.Counter("bytes.out").Add(int64(bytesOut))
+	reg.Histogram("latency_ns." + op).Observe(float64(dt.Nanoseconds()))
+	if op == "compress" && bytesOut > 0 {
+		reg.Histogram("ratio.compress").Observe(float64(bytesIn) / float64(bytesOut))
+	}
 }
 
 func pickDevice(name string) (pfpl.Device, error) {
@@ -161,6 +199,7 @@ func run(cfg cliConfig) error {
 		if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
 			return err
 		}
+		recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
 		fmt.Printf("decompressed %d -> %d bytes in %v (%.2f GB/s, %s)\n",
 			len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9, dev.Name())
 		return nil
@@ -201,6 +240,7 @@ func run(cfg cliConfig) error {
 	if err := os.WriteFile(cfg.out, comp, 0o644); err != nil {
 		return err
 	}
+	recordBatch(cfg.reg, "compress", rawLen, len(comp), dt)
 	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %s)\n",
 		rawLen, len(comp), float64(rawLen)/float64(len(comp)), dt,
 		float64(rawLen)/dt.Seconds()/1e9, dev.Name())
@@ -259,6 +299,7 @@ func compressStream(cfg cliConfig, mode pfpl.Mode, data []byte) error {
 	if err := os.WriteFile(cfg.out, sink.Bytes(), 0o644); err != nil {
 		return err
 	}
+	recordBatch(cfg.reg, "compress", len(data), sink.Len(), dt)
 	fmt.Printf("streamed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %d workers)\n",
 		len(data), sink.Len(), float64(len(data))/float64(sink.Len()), dt,
 		float64(len(data))/dt.Seconds()/1e9, cfg.streamWorkers)
@@ -310,6 +351,7 @@ func decompressStream(cfg cliConfig, dev pfpl.Device, data []byte) error {
 	if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
 		return err
 	}
+	recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
 	fmt.Printf("decompressed framed stream %d -> %d bytes in %v (%.2f GB/s)\n",
 		len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9)
 	return nil

@@ -1,0 +1,160 @@
+package pfpl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeCorrupt hardens the decode path: framed streams with arbitrary
+// byte mutations — and arbitrary bytes outright — must come back from the
+// readers and the monolithic decoders as ErrCorrupt-compatible errors (or
+// decode cleanly, for mutations in undetectable payload positions), never
+// as a panic, and never by allocating more than the input's declared
+// geometry can back. The allocation guarantee is structural: readFrame
+// grows its buffer in installments bounded by bytes actually read, and
+// every decoder validates the chunk table — which ties declared sizes to
+// bytes present — before sizing its output from the untrusted count.
+func FuzzDecodeCorrupt(f *testing.F) {
+	// Seed corpus: real framed streams across mode × precision ×
+	// checksumming, in the conformance configurations.
+	vals := make([]float32, 1200)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i)/30) * 1e3)
+	}
+	vals[5] = float32(math.NaN())
+	vals[11] = float32(math.Inf(-1))
+	vals[17] = 0
+	vals64 := make([]float64, len(vals))
+	for i, v := range vals {
+		vals64[i] = float64(v)
+	}
+	configs := []struct {
+		mode  Mode
+		bound float64
+		sum   bool
+	}{
+		{ABS, 0.001, false},
+		{REL, 0.01, false},
+		{NOA, 0.0001, false},
+		{ABS, 0.001, true},
+	}
+	for _, cfg := range configs {
+		opts := Options{Mode: cfg.mode, Bound: cfg.bound, Checksum: cfg.sum}
+		sopts := StreamOptions{FrameValues: 512}
+		var b32 bytes.Buffer
+		w32, err := NewWriter32(&b32, opts, sopts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w32.Write(vals); err != nil {
+			f.Fatal(err)
+		}
+		if err := w32.Close(); err != nil {
+			f.Fatal(err)
+		}
+		var b64 bytes.Buffer
+		w64, err := NewWriter64(&b64, opts, sopts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w64.Write(vals64); err != nil {
+			f.Fatal(err)
+		}
+		if err := w64.Close(); err != nil {
+			f.Fatal(err)
+		}
+		// The pristine stream, plus mutations at structurally interesting
+		// offsets: the length prefix, the header, the chunk table, and deep
+		// payload.
+		for _, seed := range [][]byte{b32.Bytes(), b64.Bytes()} {
+			f.Add(seed, uint32(0), byte(0))
+			f.Add(seed, uint32(0), byte(0xFF))   // length prefix
+			f.Add(seed, uint32(9), byte(0x04))   // header flags (precision bit)
+			f.Add(seed, uint32(30), byte(0x80))  // count field
+			f.Add(seed, uint32(45), byte(0x01))  // chunk table
+			f.Add(seed, uint32(200), byte(0x55)) // payload
+			f.Add(seed, uint32(len(seed)-1), byte(1))
+		}
+	}
+	f.Add([]byte{}, uint32(0), byte(0))
+	f.Add([]byte("PFPL"), uint32(2), byte(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos uint32, xor byte) {
+		if len(data) > 0 {
+			data[int(pos)%len(data)] ^= xor
+		}
+		checkDecodeAll(t, data)
+	})
+}
+
+// decodeValuesCap bounds how much a single fuzz input may decode before we
+// stop: far above anything a seed-sized stream legitimately holds, so
+// hitting it means runaway decoding.
+const decodeValuesCap = 1 << 24
+
+func checkDecodeAll(t *testing.T, data []byte) {
+	t.Helper()
+
+	// Framed readers, both precisions (the precision flag itself may be
+	// mutated, so both must hold up against either layout).
+	r32 := NewReader32(bytes.NewReader(data), Options{})
+	buf32 := make([]float32, 4096)
+	total := 0
+	for {
+		n, err := r32.Read(buf32)
+		total += n
+		if total > decodeValuesCap {
+			t.Fatalf("reader32 produced over %d values from a %d-byte input", decodeValuesCap, len(data))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			requireCorruptClass(t, "reader32", err)
+			break
+		}
+	}
+	r64 := NewReader64(bytes.NewReader(data), Options{})
+	buf64 := make([]float64, 4096)
+	total = 0
+	for {
+		n, err := r64.Read(buf64)
+		total += n
+		if total > decodeValuesCap {
+			t.Fatalf("reader64 produced over %d values from a %d-byte input", decodeValuesCap, len(data))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			requireCorruptClass(t, "reader64", err)
+			break
+		}
+	}
+
+	// Monolithic decoders over the same bytes (a framed stream is corrupt
+	// to them — the length prefix is not the container magic).
+	if _, err := Decompress32(data, nil, Options{}); err != nil {
+		requireCorruptClass(t, "decompress32", err)
+	}
+	if _, err := Decompress64(data, nil, Options{}); err != nil {
+		requireCorruptClass(t, "decompress64", err)
+	}
+	if _, err := Stat(data); err != nil {
+		requireCorruptClass(t, "stat", err)
+	}
+}
+
+// requireCorruptClass accepts exactly the documented decode-failure
+// errors; anything else (including a panic turned error) fails the fuzz
+// run.
+func requireCorruptClass(t *testing.T, site string, err error) {
+	t.Helper()
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrBadBound) || errors.Is(err, ErrBoundSmall) {
+		return
+	}
+	t.Fatalf("%s: error outside the corrupt class: %v", site, err)
+}

@@ -1,0 +1,115 @@
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"pfpl/internal/server"
+)
+
+// TestServedPathMatchesGolden closes the loop between the HTTP service and
+// the conformance contract: compressing every corpus entry × config ×
+// precision through POST /v1/compress must produce a stream whose SHA-256
+// equals the checked-in golden vector — the serial executor's frame-by-frame
+// bytes. The served path (pooled executor, admission gates, full-duplex
+// body streaming) must be invisible in the output.
+func TestServedPathMatchesGolden(t *testing.T) {
+	want := loadGoldenStreamVectors(t)
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	for _, e := range Corpus() {
+		if testing.Short() && e.Heavy {
+			continue
+		}
+		for _, cfg := range Configs() {
+			e, cfg := e, cfg
+			t.Run(e.Name+"/"+cfg.Name(), func(t *testing.T) {
+				mode := strings.ToLower(cfg.Mode.String())
+				url := fmt.Sprintf("%s/v1/compress?mode=%s&bound=%g&frame=%d",
+					ts.URL, mode, cfg.Bound, streamFrameValues)
+				checkServedHash(t, url, servedLE32(e.F32), want, e.Name+"/"+cfg.Name()+"/f32")
+				checkServedHash(t, url+"&precision=f64", servedLE64(e.F64), want, e.Name+"/"+cfg.Name()+"/f64")
+			})
+		}
+	}
+}
+
+func checkServedHash(t *testing.T, url string, raw []byte, want map[string]string, key string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", key, resp.StatusCode, body)
+	}
+	w, ok := want[key]
+	if !ok {
+		t.Fatalf("%s: no golden stream vector (regenerate with -update on TestStreamGoldenVectors)", key)
+	}
+	if got := hashBytes(body); got != w {
+		t.Errorf("%s: served stream diverges from the serial golden bytes (digest %s, golden %s)",
+			key, got[:12], w[:12])
+	}
+}
+
+func loadGoldenStreamVectors(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenStreamPath)
+	if err != nil {
+		t.Fatalf("golden stream vectors missing (%v); regenerate with -update", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed golden stream line: %q", line)
+		}
+		want[parts[0]] = parts[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func servedLE32(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func servedLE64(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}

@@ -51,15 +51,17 @@ func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validate the chunk table — which ties every declared size to bytes
+	// actually present in buf — before sizing dst from the untrusted count.
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
 	var s Scratch32
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords32
@@ -122,15 +124,17 @@ func DecompressSerial64(buf []byte, dst []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// See DecompressSerial32: chunk-table validation precedes the dst
+	// allocation.
+	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
 	var s Scratch64
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords64

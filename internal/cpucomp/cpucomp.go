@@ -69,12 +69,38 @@ func (ca *Carry) Publish(c int, end int64) {
 	atomic.StoreInt64(&ca.off[c+1], end)
 }
 
+// A dispatcher runs work on n concurrent participants and returns when all
+// of them have finished. work must be safe to call from n goroutines at
+// once. goDispatch (spawn fresh goroutines, the classic executor) and
+// Pool.dispatch (borrow persistent workers, the serving executor) are the
+// two implementations; the compressed bytes are identical under either —
+// and under any effective participant count — because chunk placement is
+// determined by the carry chain, never by scheduling.
+type dispatcher func(n int, work func())
+
+// goDispatch runs work on n freshly spawned goroutines.
+func goDispatch(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
 // Compress32 compresses src in parallel with the given worker count
 // (0 = GOMAXPROCS).
 func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	return compress32(src, mode, bound, Workers(workers), goDispatch)
+}
+
+func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispatcher) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
-		rng = parallelRange32(src, Workers(workers))
+		rng = parallelRange32(src, nw)
 	}
 	p, err := core.NewParams(mode, bound, rng, false)
 	if err != nil {
@@ -95,29 +121,22 @@ func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]by
 
 	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
-	nw := Workers(workers)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var s core.Scratch32
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= h.NumChunks {
-					return
-				}
-				lo := c * core.ChunkWords32
-				hi := min(lo+core.ChunkWords32, len(src))
-				payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
-				core.PutChunkSize(out, c, len(payload), raw)
-				start := ca.Wait(c)
-				copy(out[start:], payload)
-				ca.Publish(c, start+int64(len(payload)))
+	disp(nw, func() {
+		var s core.Scratch32
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= h.NumChunks {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			lo := c * core.ChunkWords32
+			hi := min(lo+core.ChunkWords32, len(src))
+			payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
+			core.PutChunkSize(out, c, len(payload), raw)
+			start := ca.Wait(c)
+			copy(out[start:], payload)
+			ca.Publish(c, start+int64(len(payload)))
+		}
+	})
 	end := payloadStart
 	if h.NumChunks > 0 {
 		end = int(ca.Wait(h.NumChunks))
@@ -128,6 +147,10 @@ func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]by
 // Decompress32 decodes buf in parallel; chunk starts come from a prefix sum
 // over the stored chunk sizes, making every chunk independent (§III.E).
 func Decompress32(buf []byte, dst []float32, workers int) ([]float32, error) {
+	return decompress32(buf, dst, Workers(workers), goDispatch)
+}
+
+func decompress32(buf []byte, dst []float32, nw int, disp dispatcher) ([]float32, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -139,16 +162,18 @@ func Decompress32(buf []byte, dst []float32, workers int) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validate the chunk table — which ties every declared size to bytes
+	// actually present in buf — before sizing dst from the untrusted count.
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
-	err = parallelChunks(h.NumChunks, Workers(workers), func(c int, s *core.Scratch32, _ *core.Scratch64) error {
+	err = parallelChunks(h.NumChunks, nw, disp, func(c int, s *core.Scratch32, _ *core.Scratch64) error {
 		lo := c * core.ChunkWords32
 		hi := min(lo+core.ChunkWords32, n)
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
@@ -162,9 +187,13 @@ func Decompress32(buf []byte, dst []float32, workers int) ([]float32, error) {
 
 // Compress64 is the double-precision counterpart of Compress32.
 func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	return compress64(src, mode, bound, Workers(workers), goDispatch)
+}
+
+func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispatcher) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
-		rng = parallelRange64(src, Workers(workers))
+		rng = parallelRange64(src, nw)
 	}
 	p, err := core.NewParams(mode, bound, rng, true)
 	if err != nil {
@@ -185,29 +214,22 @@ func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]by
 
 	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
-	nw := Workers(workers)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var s core.Scratch64
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= h.NumChunks {
-					return
-				}
-				lo := c * core.ChunkWords64
-				hi := min(lo+core.ChunkWords64, len(src))
-				payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
-				core.PutChunkSize(out, c, len(payload), raw)
-				start := ca.Wait(c)
-				copy(out[start:], payload)
-				ca.Publish(c, start+int64(len(payload)))
+	disp(nw, func() {
+		var s core.Scratch64
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= h.NumChunks {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			lo := c * core.ChunkWords64
+			hi := min(lo+core.ChunkWords64, len(src))
+			payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
+			core.PutChunkSize(out, c, len(payload), raw)
+			start := ca.Wait(c)
+			copy(out[start:], payload)
+			ca.Publish(c, start+int64(len(payload)))
+		}
+	})
 	end := payloadStart
 	if h.NumChunks > 0 {
 		end = int(ca.Wait(h.NumChunks))
@@ -217,6 +239,10 @@ func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]by
 
 // Decompress64 decodes a double-precision stream in parallel.
 func Decompress64(buf []byte, dst []float64, workers int) ([]float64, error) {
+	return decompress64(buf, dst, Workers(workers), goDispatch)
+}
+
+func decompress64(buf []byte, dst []float64, nw int, disp dispatcher) ([]float64, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -228,16 +254,17 @@ func Decompress64(buf []byte, dst []float64, workers int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// See decompress32: chunk-table validation precedes the dst allocation.
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
-	err = parallelChunks(h.NumChunks, Workers(workers), func(c int, _ *core.Scratch32, s *core.Scratch64) error {
+	err = parallelChunks(h.NumChunks, nw, disp, func(c int, _ *core.Scratch32, s *core.Scratch64) error {
 		lo := c * core.ChunkWords64
 		hi := min(lo+core.ChunkWords64, n)
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
@@ -252,28 +279,22 @@ func Decompress64(buf []byte, dst []float64, workers int) ([]float64, error) {
 // parallelChunks runs fn over every chunk index with dynamic assignment.
 // The first error wins; remaining chunks are still visited (they are cheap
 // and the data is discarded on error).
-func parallelChunks(numChunks, workers int, fn func(c int, s32 *core.Scratch32, s64 *core.Scratch64) error) error {
+func parallelChunks(numChunks, workers int, disp dispatcher, fn func(c int, s32 *core.Scratch32, s64 *core.Scratch64) error) error {
 	var next int64
 	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var s32 core.Scratch32
-			var s64 core.Scratch64
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= numChunks {
-					return
-				}
-				if err := fn(c, &s32, &s64); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-				}
+	disp(workers, func() {
+		var s32 core.Scratch32
+		var s64 core.Scratch64
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= numChunks {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			if err := fn(c, &s32, &s64); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}
+	})
 	if err, ok := firstErr.Load().(error); ok {
 		return err
 	}

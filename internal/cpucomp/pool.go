@@ -1,0 +1,108 @@
+package cpucomp
+
+import (
+	"sync"
+
+	"pfpl/internal/core"
+)
+
+// Pool is a persistent set of compression workers shared across calls. The
+// package-level Compress/Decompress functions spawn their goroutines per
+// call, which is right for batch runs; a server handling many small
+// requests would pay that spawn (and the scheduler churn of unbounded
+// goroutine counts) on every request. A Pool starts its workers once and
+// lets each call borrow however many are idle.
+//
+// Borrowing is non-blocking: a call always runs one participant on its own
+// goroutine (guaranteeing progress even with every worker busy) and offers
+// the remaining participant slots to idle workers. Under load the pool
+// therefore degrades gracefully — concurrent requests each get fewer
+// helpers instead of queueing or oversubscribing the scheduler — and the
+// total number of compression goroutines in the process stays bounded by
+// the pool size plus one per in-flight call.
+//
+// The compressed bytes are identical for every effective participant count
+// (the carry chain fixes chunk placement), so sharing a Pool never changes
+// output — the cross-executor bit-identity that internal/conformance pins.
+type Pool struct {
+	tasks chan func()
+	quit  chan struct{}
+	size  int
+
+	closeOnce sync.Once
+}
+
+// NewPool starts a pool with the given worker count (0 = one per logical
+// CPU).
+func NewPool(workers int) *Pool {
+	n := Workers(workers)
+	p := &Pool{tasks: make(chan func()), quit: make(chan struct{}), size: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				select {
+				case task := <-p.tasks:
+					task()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of persistent workers.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the workers after in-flight tasks finish. Calls in progress
+// complete normally (their inline participant finishes the work); new calls
+// after Close run single-threaded on the caller. The tasks channel is never
+// closed — dispatch may race with Close, and a send into a quit pool must
+// fall through to the inline path, not panic.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+}
+
+// dispatch implements dispatcher on the pool: up to n-1 participant slots
+// are offered to idle workers (an unbuffered send succeeds only when a
+// worker is actually waiting), and the calling goroutine is always the
+// final participant, so the call makes progress even when the pool is
+// saturated by other requests.
+func (p *Pool) dispatch(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			work()
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			wg.Done() // every worker busy; the inline participant covers it
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// Compress32 compresses src using the pool's workers.
+func (p *Pool) Compress32(src []float32, mode core.Mode, bound float64) ([]byte, error) {
+	return compress32(src, mode, bound, p.size, p.dispatch)
+}
+
+// Decompress32 decodes buf using the pool's workers.
+func (p *Pool) Decompress32(buf []byte, dst []float32) ([]float32, error) {
+	return decompress32(buf, dst, p.size, p.dispatch)
+}
+
+// Compress64 compresses double-precision src using the pool's workers.
+func (p *Pool) Compress64(src []float64, mode core.Mode, bound float64) ([]byte, error) {
+	return compress64(src, mode, bound, p.size, p.dispatch)
+}
+
+// Decompress64 decodes a double-precision stream using the pool's workers.
+func (p *Pool) Decompress64(buf []byte, dst []float64) ([]float64, error) {
+	return decompress64(buf, dst, p.size, p.dispatch)
+}

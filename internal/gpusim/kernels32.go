@@ -350,15 +350,17 @@ func Decompress32(m DeviceModel, buf []byte, dst []float32) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Chunk-table validation precedes the dst allocation so a corrupt
+	// header cannot size dst beyond what the buffer's own bytes back.
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
 	var firstErr atomic.Value
 	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
 		s := newShared32(min(threadsPerBlock, m.MaxThreadsPerBlock))

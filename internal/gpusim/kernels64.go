@@ -301,15 +301,16 @@ func Decompress64(m DeviceModel, buf []byte, dst []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// See Decompress32: chunk-table validation precedes the dst allocation.
+	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return nil, err
+	}
 	n := int(h.Count)
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	offsets, lengths, raws, payload, err := core.ChunkTable(buf, &h)
-	if err != nil {
-		return nil, err
-	}
 	var firstErr atomic.Value
 	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
 		s := newShared64(min(threadsPerBlock, m.MaxThreadsPerBlock))

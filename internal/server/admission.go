@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors. ErrSaturated means the byte budget is currently full —
+// retry after the Retry-After the handler derives from RetryAfter.
+// ErrTooLarge means the reservation exceeds the whole budget and can never
+// be admitted; retrying is pointless.
+var (
+	ErrSaturated = errors.New("server: in-flight byte budget saturated")
+	ErrTooLarge  = errors.New("server: request exceeds the in-flight byte budget")
+)
+
+// Admission is the byte-budget gate in front of the request pipelines: the
+// sum of all admitted reservations never exceeds the capacity, so the
+// daemon's buffered request memory is bounded no matter how many clients
+// connect — load is shed with 429 + Retry-After instead of OOM (the
+// "backpressure instead of collapse" half of the serving story; the worker
+// pool is the other half).
+//
+// Acquire never blocks. Blocking would tie up a connection goroutine and
+// its buffers — exactly the memory the budget exists to protect — so a
+// full budget answers immediately and pushes the waiting to the client,
+// which holds its own bytes meanwhile.
+type Admission struct {
+	capacity int64
+
+	mu       sync.Mutex
+	inflight int64
+	// drainNsPerByte is an EWMA of observed request drain cost, feeding the
+	// Retry-After estimate. Zero until the first release.
+	drainNsPerByte float64
+}
+
+// ewmaWeight is the weight of the newest drain observation; 1/8 smooths
+// single outliers while tracking load shifts within ~a dozen requests.
+const ewmaWeight = 1.0 / 8
+
+// Retry-After bounds: never tell a client "0" (it would hammer), never
+// more than a minute (the estimate isn't worth more).
+const (
+	retryFloor = 1 * time.Second
+	retryCeil  = 60 * time.Second
+)
+
+// NewAdmission creates a gate with the given byte capacity. A non-positive
+// capacity admits only zero-byte reservations — useful as a drain/test
+// configuration, and the natural meaning of "no budget".
+func NewAdmission(capacity int64) *Admission {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Admission{capacity: capacity}
+}
+
+// Capacity returns the configured byte budget.
+func (a *Admission) Capacity() int64 { return a.capacity }
+
+// Inflight returns the currently reserved bytes.
+func (a *Admission) Inflight() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Acquire reserves n bytes. It returns nil and charges the budget, or
+// ErrTooLarge (n can never fit) or ErrSaturated (it would fit once
+// in-flight requests drain). n <= 0 reserves nothing and always succeeds.
+func (a *Admission) Acquire(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if n > a.capacity {
+		return ErrTooLarge
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight+n > a.capacity {
+		return ErrSaturated
+	}
+	a.inflight += n
+	return nil
+}
+
+// Release returns n reserved bytes and records that draining them took
+// took, updating the Retry-After estimate. Calls must mirror successful
+// Acquires; Release clamps rather than underflows if they don't.
+func (a *Admission) Release(n int64, took time.Duration) {
+	if n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight -= n
+	if a.inflight < 0 {
+		a.inflight = 0
+	}
+	if took > 0 {
+		obs := float64(took.Nanoseconds()) / float64(n)
+		if a.drainNsPerByte == 0 {
+			a.drainNsPerByte = obs
+		} else {
+			a.drainNsPerByte += ewmaWeight * (obs - a.drainNsPerByte)
+		}
+	}
+}
+
+// RetryAfter estimates how long a client should wait before retrying a
+// rejected n-byte reservation: the time for enough in-flight bytes to
+// drain, at the EWMA drain rate, clamped to [1s, 60s]. With no drain
+// history yet it returns the floor.
+func (a *Admission) RetryAfter(n int64) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	need := a.inflight + n - a.capacity
+	if need <= 0 {
+		need = 1
+	}
+	if a.drainNsPerByte == 0 {
+		return retryFloor
+	}
+	d := time.Duration(float64(need) * a.drainNsPerByte)
+	if d < retryFloor {
+		return retryFloor
+	}
+	if d > retryCeil {
+		return retryCeil
+	}
+	return d
+}

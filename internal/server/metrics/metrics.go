@@ -1,0 +1,236 @@
+// Package metrics is the expvar-backed instrumentation shared by the pfpl
+// serve daemon and the batch CLI. A Registry is a self-contained set of
+// named counters and histograms — nothing is registered globally, so tests
+// and embedded servers can hold as many registries as they like — that
+// renders to the same JSON shape the standard expvar handler emits, and can
+// optionally be published into the process-wide expvar namespace exactly
+// once.
+//
+// Counters are expvar.Int (an atomic int64 with a JSON String method).
+// Histograms are power-of-two-bucketed: cheap enough for per-request
+// latencies on the serving hot path, precise enough for the percentile
+// summaries an operator actually reads.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is an ordered collection of named metrics.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]expvar.Var
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{vars: make(map[string]expvar.Var)}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Names are dot-separated paths ("requests.compress.ok").
+func (r *Registry) Counter(name string) *expvar.Int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		if c, ok := v.(*expvar.Int); ok {
+			return c
+		}
+		panic(fmt.Sprintf("metrics: %q already registered as a non-counter", name))
+	}
+	c := new(expvar.Int)
+	r.vars[name] = c
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		if h, ok := v.(*Histogram); ok {
+			return h
+		}
+		panic(fmt.Sprintf("metrics: %q already registered as a non-histogram", name))
+	}
+	h := new(Histogram)
+	r.vars[name] = h
+	return h
+}
+
+// Do calls fn for every registered metric in name order, matching
+// expvar.Do's shape.
+func (r *Registry) Do(fn func(name string, v expvar.Var)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		names = append(names, n)
+	}
+	vars := make(map[string]expvar.Var, len(r.vars))
+	for n, v := range r.vars {
+		vars[n] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, vars[n])
+	}
+}
+
+// String renders the registry as one JSON object, metric name to metric
+// value, in name order — the format GET /metrics serves and the CLI's
+// -metrics flag prints.
+func (r *Registry) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	r.Do(func(name string, v expvar.Var) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "\n  %q: %s", name, v.String())
+	})
+	b.WriteString("\n}\n")
+	return b.String()
+}
+
+// Publish mounts every current and future metric of this registry into the
+// process-wide expvar namespace under the given prefix. It may be called at
+// most once per prefix per process (expvar's own rule); the daemon calls it,
+// tests never do.
+func (r *Registry) Publish(prefix string) {
+	expvar.Publish(prefix, expvar.Func(func() any {
+		out := make(map[string]any)
+		r.Do(func(name string, v expvar.Var) {
+			out[name] = rawJSON(v.String())
+		})
+		return out
+	}))
+}
+
+// rawJSON lets already-serialized metric values pass through
+// encoding/json unquoted.
+type rawJSON string
+
+func (r rawJSON) MarshalJSON() ([]byte, error) { return []byte(r), nil }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations in [2^(i-1), 2^i), bucket 0 counts (-inf, 1). 64
+// buckets cover int64 nanoseconds — half a millennium — and any byte count
+// or ratio this system can see.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram. Observe takes a short mutex
+// critical section, which keeps count/sum/min/max mutually consistent;
+// at per-request granularity the contention is negligible.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps v to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	if !(v >= 1) { // v < 1, NaN
+		return 0
+	}
+	e := math.Ilogb(v) + 1
+	if e >= histBuckets {
+		return histBuckets - 1
+	}
+	return e
+}
+
+// Observe records one value. Non-finite values are clamped into the
+// outermost buckets rather than dropped, so a pathological measurement
+// still shows up in the counts.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		h.sum += v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// Snapshot is a consistent copy of a histogram's state.
+type Snapshot struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Buckets  [histBuckets]int64
+}
+
+// Snapshot returns a consistent copy.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the
+// bucket counts: the top edge of the bucket holding the q-th observation.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			return math.Ldexp(1, i) // 2^i, the bucket's top edge
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the finite observations.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// String renders the histogram summary as JSON, implementing expvar.Var.
+func (h *Histogram) String() string {
+	s := h.Snapshot()
+	return fmt.Sprintf(
+		`{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s,"p50":%s,"p90":%s,"p99":%s}`,
+		s.Count, jsonFloat(s.Sum), jsonFloat(s.Min), jsonFloat(s.Max),
+		jsonFloat(s.Mean()), jsonFloat(s.Quantile(0.5)), jsonFloat(s.Quantile(0.9)),
+		jsonFloat(s.Quantile(0.99)))
+}
+
+// jsonFloat formats a float as JSON; NaN and ±Inf (not representable in
+// JSON) become null.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return fmt.Sprintf("%g", v)
+}

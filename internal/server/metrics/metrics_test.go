@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAccumulates(t *testing.T) {
+	r := New()
+	c := r.Counter("requests.compress.abs.ok")
+	c.Add(3)
+	if again := r.Counter("requests.compress.abs.ok"); again != c {
+		t.Fatal("Counter must return the same instance for the same name")
+	}
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0, 0.5, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %g/%g, want 0/1000", s.Min, s.Max)
+	}
+	// bucket 0: v < 1 → {0, 0.5}; bucket 1: [1,2) → {1}; bucket 2: [2,4) →
+	// {2,3}; bucket 3: [4,8) → {4}; bucket 10: [512,1024) → {1000}.
+	wantBuckets := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1}
+	for i, c := range s.Buckets {
+		if want := wantBuckets[i]; c != want {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want)
+		}
+	}
+	// Rank for p50 is observation 4 of 7, which is the value 2 — bucket
+	// [2,4), reported as its top edge.
+	if got := s.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %g, want 4 (top edge of bucket 2)", got)
+	}
+	if got := s.Quantile(1); got != 1024 {
+		t.Fatalf("p100 = %g, want 1024 (top edge of bucket 10)", got)
+	}
+}
+
+func TestHistogramNonFinite(t *testing.T) {
+	var h Histogram
+	h.Observe(math.Inf(1))
+	h.Observe(math.NaN())
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3 (non-finite observations still count)", s.Count)
+	}
+	if s.Sum != 5 {
+		t.Fatalf("sum = %g, want 5 (non-finite excluded from the sum)", s.Sum)
+	}
+	// The String summary must still be valid JSON despite Inf max.
+	var out map[string]any
+	if err := json.Unmarshal([]byte(h.String()), &out); err != nil {
+		t.Fatalf("histogram JSON invalid: %v\n%s", err, h.String())
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := New()
+	r.Counter("bytes.in").Add(42)
+	r.Histogram("latency_ns.compress").Observe(1500)
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(r.String()), &out); err != nil {
+		t.Fatalf("registry JSON invalid: %v\n%s", err, r.String())
+	}
+	if string(out["bytes.in"]) != "42" {
+		t.Fatalf("bytes.in = %s, want 42", out["bytes.in"])
+	}
+	var hist struct {
+		Count int64   `json:"count"`
+		P50   float64 `json:"p50"`
+	}
+	if err := json.Unmarshal(out["latency_ns.compress"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count != 1 || hist.P50 != 2048 {
+		t.Fatalf("histogram = %+v, want count 1 p50 2048", hist)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram(\"x\") after Counter(\"x\") must panic")
+		}
+	}()
+	r.Histogram("x")
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c").Add(1)
+				r.Histogram("h").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}

@@ -1,0 +1,596 @@
+// Package server is the pfpl serving layer: an HTTP service exposing
+// streamed compression and decompression over the framed stream format,
+// with admission control in front and instrumentation throughout.
+//
+// The request path is built from three bounded resources:
+//
+//   - A persistent cpucomp worker pool (pfpl.CPUPool) shared by every
+//     request, so chunk-level parallelism costs no per-request goroutine
+//     spawning and the process's compression concurrency is fixed at the
+//     pool size no matter the request count.
+//   - An in-flight byte budget (Admission): each request reserves the bytes
+//     its pipeline can buffer before it starts; a full budget answers 429
+//     with a Retry-After estimate instead of buffering unboundedly.
+//   - A pipeline slot gate bounding concurrently *active* requests; waiters
+//     queue on their own request context, so a disconnecting client frees
+//     its slot immediately.
+//
+// Responses stream: request bodies are consumed frame by frame and
+// compressed output is written as it is produced, so a request's memory
+// footprint is its admission reservation, not its body size. Per-request
+// deadlines propagate into the frame pipeline via StreamOptions.Context,
+// and every error-bound guarantee of the library holds on the served path
+// byte for byte (pinned by internal/conformance's served-path sweep).
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pfpl"
+	"pfpl/internal/server/metrics"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxInflightBytes bounds the summed admission reservations:
+	// enough for a few dozen default-sized pipelines.
+	DefaultMaxInflightBytes = 256 << 20
+	// DefaultFrameValues is the server's frame size when the client does
+	// not pass one: smaller than the library default so per-request
+	// reservations stay modest under many concurrent clients.
+	DefaultFrameValues = 1 << 18
+	// maxServeFrameValues caps the client-requested frame size; larger
+	// frames would let a single request reserve the whole budget.
+	maxServeFrameValues = 1 << 22
+)
+
+// Config configures a Server. The zero value is production-ready: a shared
+// worker pool sized to GOMAXPROCS, a 256 MB in-flight byte budget, twice
+// GOMAXPROCS active pipelines, and no per-request deadline.
+type Config struct {
+	// Workers sizes the shared compression pool (0 = one per logical CPU).
+	Workers int
+	// MaxInflightBytes is the admission byte budget (0 = default;
+	// negative = admit only zero-byte reservations, i.e. shed everything).
+	MaxInflightBytes int64
+	// MaxConcurrent bounds concurrently active request pipelines
+	// (0 = 2 × GOMAXPROCS).
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline enforced through context
+	// cancellation down to the frame pipeline (0 = none).
+	RequestTimeout time.Duration
+	// Metrics receives the server's instrumentation (nil = a fresh
+	// registry, retrievable via Metrics()).
+	Metrics *metrics.Registry
+}
+
+// Server is the HTTP service. Create with New, serve via ServeHTTP (it
+// implements http.Handler), stop with Close.
+type Server struct {
+	cfg      Config
+	dev      *pfpl.CPUPool
+	adm      *Admission
+	slots    chan struct{}
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxInflightBytes == 0 {
+		cfg.MaxInflightBytes = DefaultMaxInflightBytes
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s := &Server{
+		cfg:   cfg,
+		dev:   pfpl.NewCPUPool(cfg.Workers),
+		adm:   NewAdmission(cfg.MaxInflightBytes),
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		reg:   cfg.Metrics,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
+	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Admission returns the byte-budget gate (exposed for tests and the
+// healthz report).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// SetDraining flips the health signal: healthz answers 503 so load
+// balancers stop routing here, while in-flight and even newly arriving
+// requests still complete (http.Server.Shutdown handles the listener).
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Close releases the shared worker pool. In-flight requests finish
+// normally (pool calls degrade to inline execution).
+func (s *Server) Close() { s.dev.Close() }
+
+// ---- request parameters ----
+
+type reqParams struct {
+	mode     pfpl.Mode
+	modeName string
+	bound    float64
+	double   bool
+	frame    int
+	checksum bool
+}
+
+// param reads a parameter from the query string, falling back to an
+// X-Pfpl-<Name> header, so clients that cannot touch the URL (proxies,
+// signed URLs) can still pass options.
+func param(r *http.Request, name string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return r.Header.Get("X-Pfpl-" + name)
+}
+
+func parseParams(r *http.Request, needBound bool) (reqParams, error) {
+	p := reqParams{mode: pfpl.ABS, modeName: "abs", bound: 0, frame: DefaultFrameValues}
+	switch m := strings.ToLower(param(r, "mode")); m {
+	case "", "abs":
+	case "rel":
+		p.mode, p.modeName = pfpl.REL, "rel"
+	case "noa":
+		p.mode, p.modeName = pfpl.NOA, "noa"
+	default:
+		return p, fmt.Errorf("unknown mode %q (want abs, rel, or noa)", m)
+	}
+	switch prec := strings.ToLower(param(r, "precision")); prec {
+	case "", "f32", "32", "single", "float32":
+	case "f64", "64", "double", "float64":
+		p.double = true
+	default:
+		return p, fmt.Errorf("unknown precision %q (want f32 or f64)", prec)
+	}
+	if b := param(r, "bound"); b != "" {
+		v, err := strconv.ParseFloat(b, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad bound %q: %v", b, err)
+		}
+		p.bound = v
+	} else if needBound {
+		return p, errors.New("missing required parameter: bound")
+	}
+	if needBound && !(p.bound > 0 && !math.IsInf(p.bound, 0)) {
+		return p, fmt.Errorf("bound must be positive and finite, got %g", p.bound)
+	}
+	if f := param(r, "frame"); f != "" {
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return p, fmt.Errorf("bad frame %q: want a positive value count", f)
+		}
+		if v > maxServeFrameValues {
+			return p, fmt.Errorf("frame %d exceeds the served cap %d", v, maxServeFrameValues)
+		}
+		p.frame = v
+	}
+	switch c := strings.ToLower(param(r, "checksum")); c {
+	case "", "0", "false":
+	case "1", "true":
+		p.checksum = true
+	default:
+		return p, fmt.Errorf("bad checksum %q: want 0 or 1", c)
+	}
+	return p, nil
+}
+
+func (p reqParams) elemSize() int {
+	if p.double {
+		return 8
+	}
+	return 4
+}
+
+// reserveBytes is a request's admission reservation: three frame-sized
+// buffers (input batch, pipeline frame, output/read-ahead) — the memory a
+// streaming request can actually pin, independent of its body size. A
+// declared Content-Length smaller than one frame shrinks the reservation,
+// so tiny requests don't hoard budget.
+func (p reqParams) reserveBytes(contentLength int64) int64 {
+	base := int64(p.frame) * int64(p.elemSize())
+	if contentLength > 0 && contentLength < base {
+		base = contentLength
+	}
+	return 3 * base
+}
+
+// ---- shared request plumbing ----
+
+// admit runs the admission and slot gates, returning a release func, or
+// writes the rejection response and returns false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, op, mode string, reserve int64) (func(), bool) {
+	if err := s.adm.Acquire(reserve); err != nil {
+		switch {
+		case errors.Is(err, ErrTooLarge):
+			s.count(op, mode, "too_large")
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		default:
+			s.count(op, mode, "saturated")
+			retry := s.adm.RetryAfter(reserve)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		}
+		return nil, false
+	}
+	t0 := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		// Client gone while queued: hand back the budget without touching a
+		// pipeline slot.
+		s.adm.Release(reserve, 0)
+		s.count(op, mode, "canceled")
+		return nil, false
+	}
+	s.reg.Histogram("latency_ns.slot_wait").Observe(float64(time.Since(t0).Nanoseconds()))
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		<-s.slots
+		s.adm.Release(reserve, time.Since(t0))
+	}, true
+}
+
+func (s *Server) count(op, mode, outcome string) {
+	s.reg.Counter("requests." + op + "." + mode + "." + outcome).Add(1)
+}
+
+// requestContext applies the configured per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// countingWriter tracks bytes written to the response.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ctxReader fails reads once the request context is done, threading the
+// deadline through the decode path (whose reader API is context-free).
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// abort reports a mid-stream failure after response bytes are already out:
+// the only honest signal left is killing the connection, which
+// http.ErrAbortHandler does without a stack dump.
+func abort() { panic(http.ErrAbortHandler) }
+
+// ---- compress ----
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r, true)
+	if err != nil {
+		s.count("compress", p.modeName, "client_error")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reserve := p.reserveBytes(r.ContentLength)
+	release, ok := s.admit(w, r, "compress", p.modeName, reserve)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	t0 := time.Now()
+	// Both directions stream: we keep reading the request body after the
+	// first response bytes go out, which HTTP/1.x forbids by default (the
+	// server closes the body at the first write). Full-duplex lifts that;
+	// on transports where it is unsupported it fails, and the handler then
+	// errors on the first post-write read rather than silently truncating.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	cw := &countingWriter{w: w}
+	opts := pfpl.Options{Mode: p.mode, Bound: p.bound, Device: s.dev, Checksum: p.checksum}
+	sopts := pfpl.StreamOptions{FrameValues: p.frame, Concurrency: 1, Context: ctx}
+	w.Header().Set("Content-Type", "application/octet-stream")
+
+	var bytesIn int64
+	var werr error
+	if p.double {
+		bytesIn, werr = compressBody64(ctx, r.Body, cw, opts, sopts)
+	} else {
+		bytesIn, werr = compressBody32(ctx, r.Body, cw, opts, sopts)
+	}
+	s.reg.Counter("bytes.in").Add(bytesIn)
+	s.reg.Counter("bytes.out").Add(cw.n)
+	if werr != nil {
+		s.finishError(w, "compress", p.modeName, cw.n > 0, werr)
+		return
+	}
+	s.count("compress", p.modeName, "ok")
+	s.reg.Histogram("latency_ns.compress").Observe(float64(time.Since(t0).Nanoseconds()))
+	if cw.n > 0 {
+		s.reg.Histogram("ratio.compress").Observe(float64(bytesIn) / float64(cw.n))
+	}
+}
+
+// finishError classifies a streaming failure. Before the first response
+// byte a clean status can still go out; after it, only a connection abort
+// tells the client the stream is incomplete.
+func (s *Server) finishError(w http.ResponseWriter, op, mode string, streamed bool, err error) {
+	outcome := "error"
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome, status = "canceled", http.StatusServiceUnavailable
+	case errors.Is(err, pfpl.ErrCorrupt) || errors.Is(err, pfpl.ErrBadBound) ||
+		errors.Is(err, pfpl.ErrBoundSmall) || errors.Is(err, errBadBody):
+		outcome, status = "client_error", http.StatusBadRequest
+	}
+	s.count(op, mode, outcome)
+	if streamed {
+		abort()
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// errBadBody marks malformed raw input (a body that is not a whole number
+// of elements).
+var errBadBody = errors.New("server: request body is not a whole number of values")
+
+func compressBody32(ctx context.Context, body io.Reader, dst io.Writer, opts pfpl.Options, sopts pfpl.StreamOptions) (int64, error) {
+	wr, err := pfpl.NewWriter32(dst, opts, sopts)
+	if err != nil {
+		return 0, err
+	}
+	in := ctxReader{ctx: ctx, r: body}
+	buf := make([]byte, sopts.FrameValues*4)
+	vals := make([]float32, sopts.FrameValues)
+	var total int64
+	for {
+		n, rerr := io.ReadFull(in, buf)
+		if rerr == io.ErrUnexpectedEOF {
+			rerr = io.EOF
+		}
+		if rerr != nil && rerr != io.EOF {
+			wr.Close()
+			return total, rerr
+		}
+		if n%4 != 0 {
+			wr.Close()
+			return total, errBadBody
+		}
+		total += int64(n)
+		for i := 0; i < n/4; i++ {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		if n > 0 {
+			if werr := wr.Write(vals[:n/4]); werr != nil {
+				wr.Close()
+				return total, werr
+			}
+		}
+		if rerr == io.EOF {
+			return total, wr.Close()
+		}
+	}
+}
+
+func compressBody64(ctx context.Context, body io.Reader, dst io.Writer, opts pfpl.Options, sopts pfpl.StreamOptions) (int64, error) {
+	wr, err := pfpl.NewWriter64(dst, opts, sopts)
+	if err != nil {
+		return 0, err
+	}
+	in := ctxReader{ctx: ctx, r: body}
+	buf := make([]byte, sopts.FrameValues*8)
+	vals := make([]float64, sopts.FrameValues)
+	var total int64
+	for {
+		n, rerr := io.ReadFull(in, buf)
+		if rerr == io.ErrUnexpectedEOF {
+			rerr = io.EOF
+		}
+		if rerr != nil && rerr != io.EOF {
+			wr.Close()
+			return total, rerr
+		}
+		if n%8 != 0 {
+			wr.Close()
+			return total, errBadBody
+		}
+		total += int64(n)
+		for i := 0; i < n/8; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		if n > 0 {
+			if werr := wr.Write(vals[:n/8]); werr != nil {
+				wr.Close()
+				return total, werr
+			}
+		}
+		if rerr == io.EOF {
+			return total, wr.Close()
+		}
+	}
+}
+
+// ---- decompress ----
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r, false)
+	if err != nil {
+		s.count("decompress", p.modeName, "client_error")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reserve := p.reserveBytes(r.ContentLength)
+	release, ok := s.admit(w, r, "decompress", "any", reserve)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	t0 := time.Now()
+	// See handleCompress: the decode loop reads frames after response
+	// bytes have gone out.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	br := bufio.NewReaderSize(ctxReader{ctx: ctx, r: r.Body}, peekBytes)
+	// The first frame's container header names the stream's precision; peek
+	// it rather than trusting a client parameter. Stat needs the header and
+	// the chunk-size table, so peek generously: 64 KB covers the table of
+	// the largest served frame (4 Mi values → 1024 chunks → 4 KB) with
+	// room to spare. Peek returns what exists if the body is shorter.
+	peek, _ := br.Peek(peekBytes)
+	if len(peek) < framePrefix+containerHeaderLen {
+		s.count("decompress", "any", "client_error")
+		http.Error(w, "body too short for a framed pfpl stream", http.StatusBadRequest)
+		return
+	}
+	info, err := pfpl.Stat(peek[framePrefix:])
+	if err != nil {
+		s.count("decompress", "any", "client_error")
+		http.Error(w, fmt.Sprintf("first frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Pfpl-Precision", map[bool]string{false: "f32", true: "f64"}[info.Double])
+
+	cw := &countingWriter{w: w}
+	opts := pfpl.Options{Device: s.dev}
+	var bytesOut int64
+	var derr error
+	if info.Double {
+		bytesOut, derr = decompressBody64(br, cw, opts, p.frame)
+	} else {
+		bytesOut, derr = decompressBody32(br, cw, opts, p.frame)
+	}
+	s.reg.Counter("bytes.in").Add(int64(r.ContentLength))
+	s.reg.Counter("bytes.out").Add(bytesOut)
+	if derr != nil {
+		s.finishError(w, "decompress", "any", cw.n > 0, derr)
+		return
+	}
+	s.count("decompress", "any", "ok")
+	s.reg.Histogram("latency_ns.decompress").Observe(float64(time.Since(t0).Nanoseconds()))
+}
+
+// Container framing constants mirrored from the library (the server peeks
+// only; all real parsing happens in pfpl).
+const (
+	framePrefix        = 4
+	containerHeaderLen = 40
+	peekBytes          = 64 << 10
+)
+
+func decompressBody32(src io.Reader, dst io.Writer, opts pfpl.Options, frame int) (int64, error) {
+	rd := pfpl.NewReader32(src, opts)
+	vals := make([]float32, frame)
+	out := make([]byte, len(vals)*4)
+	var total int64
+	for {
+		n, err := rd.Read(vals)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(vals[i]))
+		}
+		if n > 0 {
+			if _, werr := dst.Write(out[:n*4]); werr != nil {
+				return total, werr
+			}
+			total += int64(n * 4)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func decompressBody64(src io.Reader, dst io.Writer, opts pfpl.Options, frame int) (int64, error) {
+	rd := pfpl.NewReader64(src, opts)
+	vals := make([]float64, frame)
+	out := make([]byte, len(vals)*8)
+	var total int64
+	for {
+		n, err := rd.Read(vals)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(vals[i]))
+		}
+		if n > 0 {
+			if _, werr := dst.Write(out[:n*8]); werr != nil {
+				return total, werr
+			}
+			total += int64(n * 8)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// ---- health & metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"status":%q,"inflight_bytes":%d,"budget_bytes":%d,"pool_workers":%d}`+"\n",
+		status, s.adm.Inflight(), s.adm.Capacity(), s.dev.Workers())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.reg.String())
+}

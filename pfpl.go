@@ -211,3 +211,51 @@ func (d cpuDevice) Decompress64(buf []byte, dst []float64) ([]float64, error) {
 // CPU returns the parallel CPU device with the given worker count
 // (0 = one worker per logical CPU).
 func CPU(workers int) Device { return cpuDevice{workers: workers} }
+
+// CPUPool is a Device backed by a persistent worker pool instead of
+// per-call goroutine spawns. It produces bytes identical to every other
+// device; the difference is purely operational: a long-lived process
+// serving many (de)compression calls — the pfpl serve daemon, batch
+// drivers — starts the workers once and lets concurrent calls share them,
+// keeping the process's compression goroutine count bounded under load.
+// Calls are safe to issue concurrently; when every pooled worker is busy, a
+// call runs on its own goroutine alone rather than queueing.
+type CPUPool struct {
+	pool *cpucomp.Pool
+}
+
+// NewCPUPool starts a pooled CPU device with the given worker count
+// (0 = one worker per logical CPU). Close releases the workers.
+func NewCPUPool(workers int) *CPUPool {
+	return &CPUPool{pool: cpucomp.NewPool(workers)}
+}
+
+// Name identifies the device in benchmark output.
+func (d *CPUPool) Name() string { return "PFPL-CPU-Pool" }
+
+// Workers returns the number of persistent pool workers.
+func (d *CPUPool) Workers() int { return d.pool.Size() }
+
+// Close stops the pool's workers; in-flight calls complete normally and
+// later calls degrade to single-threaded execution.
+func (d *CPUPool) Close() { d.pool.Close() }
+
+// Compress32 implements Device on the shared pool.
+func (d *CPUPool) Compress32(src []float32, mode Mode, bound float64) ([]byte, error) {
+	return d.pool.Compress32(src, mode, bound)
+}
+
+// Decompress32 implements Device on the shared pool.
+func (d *CPUPool) Decompress32(buf []byte, dst []float32) ([]float32, error) {
+	return d.pool.Decompress32(buf, dst)
+}
+
+// Compress64 implements Device on the shared pool.
+func (d *CPUPool) Compress64(src []float64, mode Mode, bound float64) ([]byte, error) {
+	return d.pool.Compress64(src, mode, bound)
+}
+
+// Decompress64 implements Device on the shared pool.
+func (d *CPUPool) Decompress64(buf []byte, dst []float64) ([]float64, error) {
+	return d.pool.Decompress64(buf, dst)
+}

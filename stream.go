@@ -1,6 +1,7 @@
 package pfpl
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,6 +64,15 @@ type StreamOptions struct {
 	// are clamped so a frame's byte length always fits the 32-bit frame
 	// prefix, even in the worst raw-storage case.
 	FrameValues int
+	// Context, when non-nil, scopes the pipeline: once it is canceled (or
+	// its deadline passes) in-flight frames stop compressing, Write and
+	// Close report the context's error, and the output must be treated as
+	// truncated. Frames fully emitted before cancellation remain valid —
+	// frames are independent — so a reader of the partial stream recovers
+	// every completed frame. A nil Context never cancels. This is how a
+	// server enforces per-request deadlines on streaming requests (see
+	// internal/server).
+	Context context.Context
 }
 
 func (o StreamOptions) frameValues() int {
@@ -118,7 +128,7 @@ func NewWriter32(w io.Writer, opts Options, sopts StreamOptions) (*Writer32, err
 	copts := frameCompressOptions(opts, workers)
 	enc := func(vals []float32) ([]byte, error) { return Compress32(vals, copts) }
 	sw := &Writer32{}
-	sw.s.init(w, enc, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, sopts.frameValues(), workers)
 	return sw, nil
 }
 
@@ -146,7 +156,7 @@ func NewWriter64(w io.Writer, opts Options, sopts StreamOptions) (*Writer64, err
 	copts := frameCompressOptions(opts, workers)
 	enc := func(vals []float64) ([]byte, error) { return Compress64(vals, copts) }
 	sw := &Writer64{}
-	sw.s.init(w, enc, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, sopts.frameValues(), workers)
 	return sw, nil
 }
 
@@ -176,11 +186,23 @@ func frameErr(idx int, off int64, err error) error {
 	return fmt.Errorf("pfpl: frame %d at byte %d: %w", idx, off, err)
 }
 
+// frameAllocSeed is the initial body-read installment in readFrame; the
+// installment doubles as data keeps arriving, so a full-size frame costs
+// O(log(n)) reads while a lying prefix never inflates memory past roughly
+// twice the bytes the stream actually delivered.
+const frameAllocSeed = 64 << 10
+
 // readFrame reads one length-prefixed frame into buf (grown as needed).
 // idx and off — the frame's index and starting byte offset in the stream —
 // only label errors. A clean end of stream is reported as bare io.EOF; any
 // truncation or implausible length is ErrCorrupt wrapped with the frame
 // position.
+//
+// The declared length is untrusted: a 4-byte prefix can claim up to the
+// 2 GB frame cap, so the body is read in geometrically growing
+// installments instead of one up-front n-byte allocation. A truncated
+// stream then fails after allocating at most ~2× the bytes it actually
+// contained, never the full declared size.
 func readFrame(r io.Reader, buf []byte, idx int, off int64) ([]byte, error) {
 	var hdr [framePrefix]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -196,15 +218,29 @@ func readFrame(r io.Reader, buf []byte, idx int, off int64) ([]byte, error) {
 	if n <= 0 || n > maxFrameBytes || n > math.MaxInt {
 		return nil, frameErr(idx, off, ErrCorrupt)
 	}
-	if int64(cap(buf)) < n {
-		buf = make([]byte, n)
-	}
-	buf = buf[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			err = ErrCorrupt // frame body cut short
+	if int64(cap(buf)) >= n {
+		// A recycled buffer already this large was proven out by an earlier
+		// frame; fill it directly.
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = ErrCorrupt // frame body cut short
+			}
+			return nil, frameErr(idx, off, err)
 		}
-		return nil, frameErr(idx, off, err)
+		return buf, nil
+	}
+	buf = buf[:0]
+	for step := int64(frameAllocSeed); int64(len(buf)) < n; step *= 2 {
+		take := min(step, n-int64(len(buf)))
+		lo := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[lo:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = ErrCorrupt // frame body cut short
+			}
+			return nil, frameErr(idx, off, err)
+		}
 	}
 	return buf, nil
 }

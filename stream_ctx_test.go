@@ -1,0 +1,125 @@
+package pfpl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestStreamWriterContextCancel: canceling the pipeline context mid-stream
+// must surface context.Canceled from Write or Close, stop emitting frames,
+// and leave every already-emitted frame decodable (frames are independent).
+func TestStreamWriterContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sink bytes.Buffer
+	vals := make([]float32, 2000)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3},
+		StreamOptions{FrameValues: 100, Concurrency: 2, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals[:500]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The cancel lands asynchronously; keep writing until it surfaces.
+	var werr error
+	for i := 0; i < 1000 && werr == nil; i++ {
+		werr = w.Write(vals)
+	}
+	cerr := w.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled from Write or Close", werr)
+	}
+	if !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("Close: got %v, want context.Canceled", cerr)
+	}
+
+	// Whatever was emitted must be a prefix of whole frames: the reader
+	// recovers every completed frame and then reports clean EOF.
+	r := NewReader32(bytes.NewReader(sink.Bytes()), Options{})
+	buf := make([]float32, 64)
+	total := 0
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("reading canceled stream's emitted prefix: %v", err)
+		}
+	}
+	if total%100 != 0 {
+		t.Fatalf("recovered %d values; want a multiple of the 100-value frame", total)
+	}
+}
+
+// TestStreamWriterContextDeadline: an already-expired deadline fails the
+// very first Write, before any frame is emitted.
+func TestStreamWriterContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var sink bytes.Buffer
+	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3},
+		StreamOptions{FrameValues: 10, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(make([]float32, 5)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Write: got %v, want context.DeadlineExceeded", err)
+	}
+	if err := w.Close(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close: got %v, want context.DeadlineExceeded", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("emitted %d bytes under an expired deadline; want none", sink.Len())
+	}
+}
+
+// TestStreamWriterNilContext: the zero StreamOptions (nil Context) must
+// behave exactly as before the context hook existed.
+func TestStreamWriterNilContext(t *testing.T) {
+	var sink bytes.Buffer
+	w, err := NewWriter32(&sink, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 300)
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll32(t, sink.Bytes())
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+}
+
+func decodeAll32(t *testing.T, stream []byte) []float32 {
+	t.Helper()
+	r := NewReader32(bytes.NewReader(stream), Options{})
+	var out []float32
+	buf := make([]float32, 128)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package pfpl
 // chain without compressing or writing, and Close reports the error.
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -40,6 +41,7 @@ type frameJob[T any] struct {
 type framePipe[T any] struct {
 	dst   io.Writer
 	enc   func([]T) ([]byte, error)
+	ctx   context.Context
 	jobs  chan frameJob[T]
 	wg    sync.WaitGroup
 	chain *cpucomp.Chain
@@ -52,10 +54,14 @@ type framePipe[T any] struct {
 	err error
 }
 
-func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), limit, workers int) *framePipe[T] {
+func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, limit, workers int) *framePipe[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := &framePipe[T]{
 		dst:   dst,
 		enc:   enc,
+		ctx:   ctx,
 		chain: cpucomp.NewChain(),
 		// The job queue bounds frames in flight: at most `workers` queued
 		// plus `workers` being compressed, so memory stays proportional to
@@ -70,18 +76,31 @@ func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), limit, wo
 	return p
 }
 
+// stalled reports the pipeline's terminal condition: a recorded error, or a
+// canceled context. Workers use it to stop compressing mid-stream; the
+// context error itself is only *recorded* at an emission turn (see worker),
+// keeping the reported error deterministic in frame order.
+func (p *framePipe[T]) stalled() bool {
+	return p.firstErr() != nil || p.ctx.Err() != nil
+}
+
 func (p *framePipe[T]) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
 		var comp []byte
 		var err error
-		if p.firstErr() == nil { // after a failure, drain without compressing
+		if !p.stalled() { // after a failure or cancel, drain without compressing
 			comp, err = p.enc(j.vals)
 		}
 		p.pool.Put(j.vals[:0])
 		<-j.turn
 		if p.firstErr() == nil {
 			switch {
+			case p.ctx.Err() != nil:
+				// Cancellation wins over this frame's result: the frame is
+				// suppressed whether or not it compressed cleanly, so the
+				// stream ends at a frame boundary.
+				p.fail(p.ctx.Err())
 			case err != nil:
 				p.fail(err)
 			case comp != nil:
@@ -143,9 +162,9 @@ type streamWriter[T any] struct {
 	closed bool
 }
 
-func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), limit, workers int) {
+func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, limit, workers int) {
 	w.limit = limit
-	w.pipe = newFramePipe(dst, enc, limit, workers)
+	w.pipe = newFramePipe(dst, enc, ctx, limit, workers)
 }
 
 func (w *streamWriter[T]) write(vals []T) error {
@@ -154,6 +173,12 @@ func (w *streamWriter[T]) write(vals []T) error {
 	}
 	if err := w.pipe.firstErr(); err != nil {
 		return err
+	}
+	// A canceled pipeline context surfaces on the next write even when no
+	// frame is in flight to observe it.
+	if err := w.pipe.ctx.Err(); err != nil {
+		w.pipe.fail(err)
+		return w.pipe.firstErr()
 	}
 	for len(vals) > 0 {
 		if w.buf == nil {
@@ -182,7 +207,14 @@ func (w *streamWriter[T]) close() error {
 		w.pipe.submit(w.buf)
 	}
 	w.buf = nil
-	return w.pipe.close()
+	err := w.pipe.close()
+	if err == nil {
+		// A cancel that landed after the last frame emitted still makes the
+		// stream suspect: report it so the caller never mistakes a canceled
+		// stream for a complete one.
+		err = w.pipe.ctx.Err()
+	}
+	return err
 }
 
 // fetched is one decoded frame (or terminal error) delivered by the
