@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"pfpl"
+	"pfpl/internal/core"
+	"pfpl/internal/gpusim"
 	"pfpl/internal/server/metrics"
 )
 
@@ -62,6 +64,8 @@ func main() {
 	flag.IntVar(&cfg.streamWorkers, "stream-workers", 0, "frames compressed concurrently (0 = one per CPU)")
 	var withMetrics bool
 	flag.BoolVar(&withMetrics, "metrics", false, "print a JSON metrics summary of the run to stderr")
+	flag.StringVar(&cfg.trace, "trace", "", "write a Chrome trace-event JSON timeline of the run to this file (Perfetto-viewable); with -device gpu this is the modelled per-SM schedule")
+	flag.BoolVar(&cfg.stats, "stats", false, "print a per-stage span breakdown of the run to stderr")
 	flag.Parse()
 	if cfg.in == "" || (cfg.out == "" && !cfg.stat) {
 		flag.Usage()
@@ -93,6 +97,9 @@ type cliConfig struct {
 	streamFrame   int
 	streamWorkers int
 	reg           *metrics.Registry
+	trace         string
+	stats         bool
+	tracer        *pfpl.Tracer
 }
 
 // recordBatch feeds a batch run's numbers into the same metric names the
@@ -154,6 +161,9 @@ func run(cfg cliConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.trace != "" || cfg.stats {
+		cfg.tracer = pfpl.NewTracer(1 << 18)
+	}
 
 	if cfg.stat {
 		if isFramed(data) {
@@ -163,8 +173,12 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("mode=%v bound=%g double=%v raw=%v count=%d chunks=%d checksum=%v\n",
-			info.Mode, info.Bound, info.Double, info.Raw, info.Count, info.Chunks, info.Checksummed)
+		chunks, rawChunks, payload, err := pfpl.ChunkOutcomes(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode=%v bound=%g double=%v raw=%v count=%d chunks=%d raw_chunks=%d payload_bytes=%d checksum=%v\n",
+			info.Mode, info.Bound, info.Double, info.Raw, info.Count, chunks, rawChunks, payload, info.Checksummed)
 		if info.Mode == pfpl.NOA {
 			fmt.Printf("noa value range=%g\n", info.NOARange)
 		}
@@ -179,7 +193,7 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		opts := pfpl.Options{Device: dev}
+		opts := pfpl.Options{Device: dev, Trace: cfg.tracer}
 		t0 := time.Now()
 		var outBytes []byte
 		if info.Double {
@@ -202,7 +216,7 @@ func run(cfg cliConfig) error {
 		recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
 		fmt.Printf("decompressed %d -> %d bytes in %v (%.2f GB/s, %s)\n",
 			len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9, dev.Name())
-		return nil
+		return finishObserve(cfg, nil)
 	}
 
 	mode, err := pickMode(cfg.mode)
@@ -221,7 +235,7 @@ func run(cfg cliConfig) error {
 			return err
 		}
 		rawLen = len(data)
-		comp, err = pfpl.Compress64(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum})
+		comp, err = pfpl.Compress64(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum, Trace: cfg.tracer})
 		if err != nil {
 			return err
 		}
@@ -231,7 +245,7 @@ func run(cfg cliConfig) error {
 			return err
 		}
 		rawLen = len(data)
-		comp, err = pfpl.Compress32(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum})
+		comp, err = pfpl.Compress32(vals, pfpl.Options{Mode: mode, Bound: cfg.bound, Device: dev, Checksum: cfg.checksum, Trace: cfg.tracer})
 		if err != nil {
 			return err
 		}
@@ -244,7 +258,47 @@ func run(cfg cliConfig) error {
 	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %s)\n",
 		rawLen, len(comp), float64(rawLen)/float64(len(comp)), dt,
 		float64(rawLen)/dt.Seconds()/1e9, dev.Name())
-	return nil
+	return finishObserve(cfg, comp)
+}
+
+// finishObserve emits the run's observability outputs: the -stats stage
+// breakdown to stderr, and the -trace Chrome trace-event file. For a GPU
+// compress run the trace is the modelled per-SM schedule (one lane per
+// simulated SM, derived from the device's roofline model and the actual
+// chunk sizes of comp); every other run exports the runtime spans the
+// executors recorded.
+func finishObserve(cfg cliConfig, comp []byte) error {
+	if cfg.tracer == nil {
+		return nil
+	}
+	if cfg.stats {
+		fmt.Fprint(os.Stderr, cfg.tracer.Stats().String())
+	}
+	if cfg.trace == "" {
+		return nil
+	}
+	f, err := os.Create(cfg.trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if comp != nil && strings.ToLower(cfg.device) == "gpu" {
+		body, err := core.VerifyAndStripChecksum(comp)
+		if err != nil {
+			return err
+		}
+		tl, err := gpusim.ModelTimeline(gpusim.RTX4090, body)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			return err
+		}
+	} else if err := pfpl.WriteTrace(f, cfg.tracer, "pfpl "+cfg.device); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", cfg.trace)
+	return f.Close()
 }
 
 // compressStream writes data through the pipelined streaming writer. The
@@ -261,7 +315,7 @@ func compressStream(cfg cliConfig, mode pfpl.Mode, data []byte) error {
 		}
 		opts.Device = dev
 	}
-	sopts := pfpl.StreamOptions{Concurrency: cfg.streamWorkers, FrameValues: cfg.streamFrame}
+	sopts := pfpl.StreamOptions{Concurrency: cfg.streamWorkers, FrameValues: cfg.streamFrame, Trace: cfg.tracer}
 	var sink bytes.Buffer
 	t0 := time.Now()
 	if cfg.double {
@@ -303,7 +357,7 @@ func compressStream(cfg cliConfig, mode pfpl.Mode, data []byte) error {
 	fmt.Printf("streamed %d -> %d bytes (ratio %.2f) in %v (%.2f GB/s, %d workers)\n",
 		len(data), sink.Len(), float64(len(data))/float64(sink.Len()), dt,
 		float64(len(data))/dt.Seconds()/1e9, cfg.streamWorkers)
-	return nil
+	return finishObserve(cfg, nil)
 }
 
 // decompressStream decodes a framed stream with the read-ahead reader,
@@ -313,7 +367,7 @@ func decompressStream(cfg cliConfig, dev pfpl.Device, data []byte) error {
 	if err != nil {
 		return err
 	}
-	opts := pfpl.Options{Device: dev}
+	opts := pfpl.Options{Device: dev, Trace: cfg.tracer}
 	t0 := time.Now()
 	var outBytes []byte
 	if info.Double {
@@ -354,13 +408,16 @@ func decompressStream(cfg cliConfig, dev pfpl.Device, data []byte) error {
 	recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
 	fmt.Printf("decompressed framed stream %d -> %d bytes in %v (%.2f GB/s)\n",
 		len(data), len(outBytes), dt, float64(len(outBytes))/dt.Seconds()/1e9)
-	return nil
+	return finishObserve(cfg, nil)
 }
 
-// statStream walks the frames of a framed stream and prints a summary.
+// statStream walks the frames of a framed stream and prints a summary,
+// including the chunk outcomes (raw-fallback counts) summed across frames.
 func statStream(data []byte) error {
 	frames := 0
 	var values uint64
+	var chunks, rawChunks int
+	var payload int64
 	var first pfpl.Info
 	for off := 0; off+framePrefix <= len(data); {
 		n := int64(binary.LittleEndian.Uint32(data[off:]))
@@ -372,6 +429,13 @@ func statStream(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("framed stream: frame %d at byte %d: %w", frames, off, err)
 		}
+		fc, fr, fp, err := pfpl.ChunkOutcomes(data[body : body+n])
+		if err != nil {
+			return fmt.Errorf("framed stream: frame %d at byte %d: %w", frames, off, err)
+		}
+		chunks += fc
+		rawChunks += fr
+		payload += fp
 		if frames == 0 {
 			first = info
 		}
@@ -379,8 +443,8 @@ func statStream(data []byte) error {
 		values += uint64(info.Count)
 		off = int(body + n)
 	}
-	fmt.Printf("framed stream: frames=%d values=%d mode=%v bound=%g double=%v checksum=%v\n",
-		frames, values, first.Mode, first.Bound, first.Double, first.Checksummed)
+	fmt.Printf("framed stream: frames=%d values=%d chunks=%d raw_chunks=%d payload_bytes=%d mode=%v bound=%g double=%v checksum=%v\n",
+		frames, values, chunks, rawChunks, payload, first.Mode, first.Bound, first.Double, first.Checksummed)
 	return nil
 }
 

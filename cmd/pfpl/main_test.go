@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -182,4 +184,73 @@ func TestRunStreamDouble(t *testing.T) {
 	if len(restored) != 8*5000 {
 		t.Fatalf("restored %d bytes, want %d", len(restored), 8*5000)
 	}
+}
+
+// TestRunTrace drives the -trace and -stats wiring: a GPU compress run
+// exports the modelled per-SM schedule, a CPU run exports the runtime
+// spans, and both are valid Chrome trace-event JSON.
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	vals := make([]float32, 20000)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) * 0.02))
+	}
+	writeF32(t, in, vals)
+
+	check := func(path, wantTrack string) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph   string         `json:"ph"`
+				Name string         `json:"name"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s is not valid trace JSON: %v", path, err)
+		}
+		slices, sawTrack := 0, false
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				slices++
+			}
+			if ev.Ph == "M" && ev.Name == "thread_name" {
+				if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, wantTrack) {
+					sawTrack = true
+				}
+			}
+		}
+		if slices == 0 {
+			t.Fatalf("%s has no slices", path)
+		}
+		if !sawTrack {
+			t.Fatalf("%s has no %q track", path, wantTrack)
+		}
+	}
+
+	gpuTrace := filepath.Join(dir, "gpu.json")
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: filepath.Join(dir, "g.pfpl"),
+		device: "gpu", checksum: true, trace: gpuTrace, stats: true}); err != nil {
+		t.Fatalf("gpu traced compress: %v", err)
+	}
+	check(gpuTrace, "SM ") // modelled schedule: one lane per simulated SM
+
+	cpuTrace := filepath.Join(dir, "cpu.json")
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: filepath.Join(dir, "c.pfpl"),
+		device: "cpu", trace: cpuTrace}); err != nil {
+		t.Fatalf("cpu traced compress: %v", err)
+	}
+	check(cpuTrace, "cpu-w") // runtime spans: one lane per pool worker
+
+	streamTrace := filepath.Join(dir, "stream.json")
+	if err := run(cliConfig{mode: "abs", bound: 1e-3, in: in, out: filepath.Join(dir, "s.pfpls"),
+		device: "cpu", stream: true, streamFrame: 2000, streamWorkers: 2, trace: streamTrace}); err != nil {
+		t.Fatalf("stream traced compress: %v", err)
+	}
+	check(streamTrace, "stream-w") // frame pipeline lanes
 }

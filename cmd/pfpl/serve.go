@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,15 +32,23 @@ func serveMain(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrently active request pipelines (0 = 2x CPUs)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		MaxInflightBytes: *budget,
 		MaxConcurrent:    *maxConcurrent,
 		RequestTimeout:   *reqTimeout,
+		EnablePprof:      *enablePprof,
+		Logger:           logger,
 	})
 	defer srv.Close()
 	srv.Metrics().Publish("pfpl")

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The tracing probes in the chunk codecs must be free when disabled: with a
+// nil recorder the serial compress hot loop may not allocate at all beyond
+// the output buffer the caller sees. These guards pin that property.
+
+func noTraceInput32() []float32 {
+	src := make([]float32, ChunkWords32)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) / 50))
+	}
+	return src
+}
+
+func TestEncodeChunkNoTraceZeroAllocs(t *testing.T) {
+	src := noTraceInput32()
+	p, err := NewParams(ABS, 1e-3, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch32
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _ = EncodeChunk32(&p, src, &s); false {
+			t.Fail()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeChunk32 with nil recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestDecodeChunkNoTraceZeroAllocs(t *testing.T) {
+	src := noTraceInput32()
+	p, err := NewParams(ABS, 1e-3, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch32
+	payload, raw := EncodeChunk32(&p, src, &s)
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	dst := make([]float32, len(src))
+	var sd Scratch32
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeChunk32(&p, pl, raw, dst, &sd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeChunk32 with nil recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCompressNoTrace(b *testing.B) {
+	src := noTraceInput32()
+	p, err := NewParams(ABS, 1e-3, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s Scratch32
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		EncodeChunk32(&p, src, &s)
+	}
+	if b.N > 1 {
+		if avg := float64(testing.AllocsPerRun(10, func() { EncodeChunk32(&p, src, &s) })); avg != 0 {
+			b.Fatalf("nil-recorder encode path allocates (%.1f allocs/op)", avg)
+		}
+	}
+}

@@ -1,11 +1,19 @@
 package core
 
+import "pfpl/internal/obs"
+
 // Serial whole-buffer compression and decompression: the reference
 // implementation against which the parallel CPU executor and the simulated
 // GPU executor must be bit-for-bit identical.
 
 // CompressSerial32 compresses src with the given mode and error bound.
 func CompressSerial32(src []float32, mode Mode, bound float64) ([]byte, error) {
+	return CompressSerial32Traced(src, mode, bound, nil)
+}
+
+// CompressSerial32Traced is CompressSerial32 with per-chunk stage spans
+// recorded on rec (nil disables tracing at no cost).
+func CompressSerial32Traced(src []float32, mode Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == NOA {
 		rng = Range32(src)
@@ -24,15 +32,20 @@ func CompressSerial32(src []float32, mode Mode, bound float64) ([]byte, error) {
 	}
 	out := AppendHeader(nil, &h)
 	var s Scratch32
+	s.Rec = rec
+	s.Track = rec.Track("serial")
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords32
 		hi := lo + ChunkWords32
 		if hi > len(src) {
 			hi = len(src)
 		}
+		s.Unit = int32(c)
 		payload, raw := EncodeChunk32(&p, src[lo:hi], &s)
+		t := rec.Now()
 		PutChunkSize(out, c, len(payload), raw)
 		out = append(out, payload...)
+		rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
 	}
 	return out, nil
 }
@@ -40,6 +53,12 @@ func CompressSerial32(src []float32, mode Mode, bound float64) ([]byte, error) {
 // DecompressSerial32 decodes a stream produced by any of the float32
 // compressors. dst is reused when it has sufficient capacity.
 func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
+	return DecompressSerial32Traced(buf, dst, nil)
+}
+
+// DecompressSerial32Traced is DecompressSerial32 with per-chunk decode
+// spans recorded on rec (nil disables tracing at no cost).
+func DecompressSerial32Traced(buf []byte, dst []float32, rec *obs.Recorder) ([]float32, error) {
 	h, err := ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -63,6 +82,8 @@ func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
 	}
 	dst = dst[:n]
 	var s Scratch32
+	s.Rec = rec
+	s.Track = rec.Track("serial")
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords32
 		hi := lo + ChunkWords32
@@ -70,6 +91,7 @@ func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
 			hi = n
 		}
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		s.Unit = int32(c)
 		if err := DecodeChunk32(&p, pl, raws[c], dst[lo:hi], &s); err != nil {
 			return nil, err
 		}
@@ -79,6 +101,12 @@ func DecompressSerial32(buf []byte, dst []float32) ([]float32, error) {
 
 // CompressSerial64 compresses double-precision data.
 func CompressSerial64(src []float64, mode Mode, bound float64) ([]byte, error) {
+	return CompressSerial64Traced(src, mode, bound, nil)
+}
+
+// CompressSerial64Traced is CompressSerial64 with per-chunk stage spans
+// recorded on rec (nil disables tracing at no cost).
+func CompressSerial64Traced(src []float64, mode Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == NOA {
 		rng = Range64(src)
@@ -98,21 +126,32 @@ func CompressSerial64(src []float64, mode Mode, bound float64) ([]byte, error) {
 	}
 	out := AppendHeader(nil, &h)
 	var s Scratch64
+	s.Rec = rec
+	s.Track = rec.Track("serial")
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords64
 		hi := lo + ChunkWords64
 		if hi > len(src) {
 			hi = len(src)
 		}
+		s.Unit = int32(c)
 		payload, raw := EncodeChunk64(&p, src[lo:hi], &s)
+		t := rec.Now()
 		PutChunkSize(out, c, len(payload), raw)
 		out = append(out, payload...)
+		rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
 	}
 	return out, nil
 }
 
 // DecompressSerial64 decodes a double-precision stream.
 func DecompressSerial64(buf []byte, dst []float64) ([]float64, error) {
+	return DecompressSerial64Traced(buf, dst, nil)
+}
+
+// DecompressSerial64Traced is DecompressSerial64 with per-chunk decode
+// spans recorded on rec (nil disables tracing at no cost).
+func DecompressSerial64Traced(buf []byte, dst []float64, rec *obs.Recorder) ([]float64, error) {
 	h, err := ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -136,6 +175,8 @@ func DecompressSerial64(buf []byte, dst []float64) ([]float64, error) {
 	}
 	dst = dst[:n]
 	var s Scratch64
+	s.Rec = rec
+	s.Track = rec.Track("serial")
 	for c := 0; c < h.NumChunks; c++ {
 		lo := c * ChunkWords64
 		hi := lo + ChunkWords64
@@ -143,6 +184,7 @@ func DecompressSerial64(buf []byte, dst []float64) ([]float64, error) {
 			hi = n
 		}
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
+		s.Unit = int32(c)
 		if err := DecodeChunk64(&p, pl, raws[c], dst[lo:hi], &s); err != nil {
 			return nil, err
 		}

@@ -105,9 +105,45 @@ func ZeroElimEncode(data []byte, out []byte) []byte {
 	for level := bitmapLevels - 1; level >= 1; level-- {
 		out = appendNonRepeat(out, bms[level])
 	}
-	// Emit the nonzero payload bytes, whole groups at a time where the
-	// bitmap says all eight survive.
-	bm1 := bms[1]
+	return appendNonZero(out, data, bms[1])
+}
+
+// bitmapScratch preallocates the four bitmap levels for a full chunk
+// (ChunkBytes of shuffled payload; each level shrinks 8x). It hard-codes
+// bitmapLevels == 4, which the compile-time assertion below pins.
+type bitmapScratch struct {
+	bm1 [ChunkBytes / 8]byte
+	bm2 [ChunkBytes / 64]byte
+	bm3 [ChunkBytes / 512]byte
+	bm4 [ChunkBytes / 4096]byte
+}
+
+var _ [1]struct{} = [bitmapLevels - 3]struct{}{} // bitmapLevels >= 4
+var _ [1]struct{} = [5 - bitmapLevels]struct{}{} // bitmapLevels <= 4
+
+// zeroElimEncodeScratch is ZeroElimEncode with the bitmap levels built in
+// caller-owned scratch instead of fresh allocations — the variant the fused
+// chunk encoder uses so its hot path stays allocation-free.
+func zeroElimEncodeScratch(data []byte, out []byte, bs *bitmapScratch) []byte {
+	bm1 := bs.bm1[:bitmapLen(len(data))]
+	buildZeroBitmapInto(data, bm1)
+	bm2 := bs.bm2[:bitmapLen(len(bm1))]
+	buildRepeatBitmapInto(bm1, bm2)
+	bm3 := bs.bm3[:bitmapLen(len(bm2))]
+	buildRepeatBitmapInto(bm2, bm3)
+	bm4 := bs.bm4[:bitmapLen(len(bm3))]
+	buildRepeatBitmapInto(bm3, bm4)
+	out = append(out, bm4...)
+	out = appendNonRepeat(out, bm3)
+	out = appendNonRepeat(out, bm2)
+	out = appendNonRepeat(out, bm1)
+	return appendNonZero(out, data, bm1)
+}
+
+// appendNonZero appends the nonzero bytes of data — per its level-1 bitmap
+// bm1 — to out, whole groups at a time where the bitmap says all eight
+// survive.
+func appendNonZero(out []byte, data []byte, bm1 []byte) []byte {
 	for j, x := range bm1 {
 		base := j * 8
 		switch x {
@@ -166,6 +202,38 @@ func ZeroElimDecode(src []byte, dst []byte) (int, error) {
 	return pos, nil
 }
 
+// zeroElimDecodeScratch is ZeroElimDecode with the bitmap levels expanded
+// into caller-owned scratch — the variant the fused chunk decoder uses so
+// its hot path stays allocation-free.
+func zeroElimDecodeScratch(src []byte, dst []byte, bs *bitmapScratch) (int, error) {
+	var sizes [bitmapLevels + 1]int
+	sizes[0] = len(dst)
+	for level := 1; level <= bitmapLevels; level++ {
+		sizes[level] = bitmapLen(sizes[level-1])
+	}
+	if len(src) < sizes[bitmapLevels] {
+		return 0, ErrCorrupt
+	}
+	bm := bs.bm4[:sizes[bitmapLevels]]
+	copy(bm, src[:sizes[bitmapLevels]])
+	pos := sizes[bitmapLevels]
+	inner := [bitmapLevels - 1][]byte{bs.bm1[:sizes[1]], bs.bm2[:sizes[2]], bs.bm3[:sizes[3]]}
+	for level := bitmapLevels - 1; level >= 1; level-- {
+		next := inner[level-1]
+		used, err := expandRepeat(bm, src[pos:], next)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		bm = next
+	}
+	used, err := expandZero(bm, src[pos:], dst)
+	if err != nil {
+		return 0, err
+	}
+	return pos + used, nil
+}
+
 // buildZeroBitmap returns a bitmap with bit i set iff data[i] != 0. The hot
 // path tests eight bytes at a time through a 64-bit load: the fused chunk
 // pipeline runs this over every byte of the stream, so word-at-a-time
@@ -173,6 +241,14 @@ func ZeroElimDecode(src []byte, dst []byte) (int, error) {
 // (§III.E).
 func buildZeroBitmap(data []byte) []byte {
 	bm := make([]byte, bitmapLen(len(data)))
+	buildZeroBitmapInto(data, bm)
+	return bm
+}
+
+// buildZeroBitmapInto writes the zero bitmap of data into bm, which must
+// have length bitmapLen(len(data)).
+func buildZeroBitmapInto(data []byte, bm []byte) {
+	clear(bm)
 	n8 := len(data) &^ 7
 	for i := 0; i < n8; i += 8 {
 		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
@@ -194,13 +270,20 @@ func buildZeroBitmap(data []byte) []byte {
 			bm[i>>3] |= 1 << uint(i&7)
 		}
 	}
-	return bm
 }
 
 // buildRepeatBitmap returns a bitmap with bit i set iff data[i] differs from
 // data[i-1] (bit 0 is always set: the first byte has no predecessor).
 func buildRepeatBitmap(data []byte) []byte {
 	bm := make([]byte, bitmapLen(len(data)))
+	buildRepeatBitmapInto(data, bm)
+	return bm
+}
+
+// buildRepeatBitmapInto writes the repeat bitmap of data into bm, which
+// must have length bitmapLen(len(data)).
+func buildRepeatBitmapInto(data []byte, bm []byte) {
+	clear(bm)
 	prev := byte(0)
 	for i, b := range data {
 		if i == 0 || b != prev {
@@ -208,7 +291,6 @@ func buildRepeatBitmap(data []byte) []byte {
 		}
 		prev = b
 	}
-	return bm
 }
 
 // appendNonRepeat appends the bytes of data that differ from their

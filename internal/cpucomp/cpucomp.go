@@ -13,10 +13,12 @@ package cpucomp
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"pfpl/internal/core"
+	"pfpl/internal/obs"
 )
 
 // Workers returns the effective worker count for a requested value: 0 means
@@ -94,10 +96,32 @@ func goDispatch(n int, work func()) {
 // Compress32 compresses src in parallel with the given worker count
 // (0 = GOMAXPROCS).
 func Compress32(src []float32, mode core.Mode, bound float64, workers int) ([]byte, error) {
-	return compress32(src, mode, bound, Workers(workers), goDispatch)
+	return compress32(src, mode, bound, Workers(workers), goDispatch, nil)
 }
 
-func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispatcher) ([]byte, error) {
+// Compress32Traced is Compress32 with per-chunk stage spans recorded on rec
+// (nil disables tracing at no cost). Each worker gets its own track.
+func Compress32Traced(src []float32, mode core.Mode, bound float64, workers int, rec *obs.Recorder) ([]byte, error) {
+	return compress32(src, mode, bound, Workers(workers), goDispatch, rec)
+}
+
+// workerTracks hands each dispatch participant a distinct recorder track
+// ("cpu-w0", "cpu-w1", ...). The nil recorder yields track 0 without
+// touching the sequence counter.
+type workerTracks struct {
+	rec *obs.Recorder
+	seq int64
+}
+
+func (wt *workerTracks) next() int32 {
+	if wt.rec == nil {
+		return 0
+	}
+	w := atomic.AddInt64(&wt.seq, 1) - 1
+	return wt.rec.Track("cpu-w" + strconv.FormatInt(w, 10))
+}
+
+func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispatcher, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
 		rng = parallelRange32(src, nw)
@@ -121,8 +145,11 @@ func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispa
 
 	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
+	wt := workerTracks{rec: rec}
 	disp(nw, func() {
 		var s core.Scratch32
+		s.Rec = rec
+		s.Track = wt.next()
 		for {
 			c := int(atomic.AddInt64(&next, 1)) - 1
 			if c >= h.NumChunks {
@@ -130,11 +157,15 @@ func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispa
 			}
 			lo := c * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, len(src))
+			s.Unit = int32(c)
 			payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
 			core.PutChunkSize(out, c, len(payload), raw)
+			t := rec.Now()
 			start := ca.Wait(c)
+			t = rec.StageSpan(obs.StageCarryWait, s.Track, s.Unit, t)
 			copy(out[start:], payload)
 			ca.Publish(c, start+int64(len(payload)))
+			rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
 		}
 	})
 	end := payloadStart
@@ -147,10 +178,16 @@ func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispa
 // Decompress32 decodes buf in parallel; chunk starts come from a prefix sum
 // over the stored chunk sizes, making every chunk independent (§III.E).
 func Decompress32(buf []byte, dst []float32, workers int) ([]float32, error) {
-	return decompress32(buf, dst, Workers(workers), goDispatch)
+	return decompress32(buf, dst, Workers(workers), goDispatch, nil)
 }
 
-func decompress32(buf []byte, dst []float32, nw int, disp dispatcher) ([]float32, error) {
+// Decompress32Traced is Decompress32 with per-chunk decode spans recorded
+// on rec (nil disables tracing at no cost).
+func Decompress32Traced(buf []byte, dst []float32, workers int, rec *obs.Recorder) ([]float32, error) {
+	return decompress32(buf, dst, Workers(workers), goDispatch, rec)
+}
+
+func decompress32(buf []byte, dst []float32, nw int, disp dispatcher, rec *obs.Recorder) ([]float32, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -173,7 +210,7 @@ func decompress32(buf []byte, dst []float32, nw int, disp dispatcher) ([]float32
 		dst = make([]float32, n)
 	}
 	dst = dst[:n]
-	err = parallelChunks(h.NumChunks, nw, disp, func(c int, s *core.Scratch32, _ *core.Scratch64) error {
+	err = parallelChunks(h.NumChunks, nw, disp, rec, func(c int, s *core.Scratch32, _ *core.Scratch64) error {
 		lo := c * core.ChunkWords32
 		hi := min(lo+core.ChunkWords32, n)
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
@@ -187,10 +224,16 @@ func decompress32(buf []byte, dst []float32, nw int, disp dispatcher) ([]float32
 
 // Compress64 is the double-precision counterpart of Compress32.
 func Compress64(src []float64, mode core.Mode, bound float64, workers int) ([]byte, error) {
-	return compress64(src, mode, bound, Workers(workers), goDispatch)
+	return compress64(src, mode, bound, Workers(workers), goDispatch, nil)
 }
 
-func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispatcher) ([]byte, error) {
+// Compress64Traced is Compress64 with per-chunk stage spans recorded on rec
+// (nil disables tracing at no cost).
+func Compress64Traced(src []float64, mode core.Mode, bound float64, workers int, rec *obs.Recorder) ([]byte, error) {
+	return compress64(src, mode, bound, Workers(workers), goDispatch, rec)
+}
+
+func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispatcher, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
 		rng = parallelRange64(src, nw)
@@ -214,8 +257,11 @@ func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispa
 
 	ca := NewCarry(h.NumChunks, payloadStart)
 	var next int64
+	wt := workerTracks{rec: rec}
 	disp(nw, func() {
 		var s core.Scratch64
+		s.Rec = rec
+		s.Track = wt.next()
 		for {
 			c := int(atomic.AddInt64(&next, 1)) - 1
 			if c >= h.NumChunks {
@@ -223,11 +269,15 @@ func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispa
 			}
 			lo := c * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, len(src))
+			s.Unit = int32(c)
 			payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
 			core.PutChunkSize(out, c, len(payload), raw)
+			t := rec.Now()
 			start := ca.Wait(c)
+			t = rec.StageSpan(obs.StageCarryWait, s.Track, s.Unit, t)
 			copy(out[start:], payload)
 			ca.Publish(c, start+int64(len(payload)))
+			rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
 		}
 	})
 	end := payloadStart
@@ -239,10 +289,16 @@ func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispa
 
 // Decompress64 decodes a double-precision stream in parallel.
 func Decompress64(buf []byte, dst []float64, workers int) ([]float64, error) {
-	return decompress64(buf, dst, Workers(workers), goDispatch)
+	return decompress64(buf, dst, Workers(workers), goDispatch, nil)
 }
 
-func decompress64(buf []byte, dst []float64, nw int, disp dispatcher) ([]float64, error) {
+// Decompress64Traced is Decompress64 with per-chunk decode spans recorded
+// on rec (nil disables tracing at no cost).
+func Decompress64Traced(buf []byte, dst []float64, workers int, rec *obs.Recorder) ([]float64, error) {
+	return decompress64(buf, dst, Workers(workers), goDispatch, rec)
+}
+
+func decompress64(buf []byte, dst []float64, nw int, disp dispatcher, rec *obs.Recorder) ([]float64, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -264,7 +320,7 @@ func decompress64(buf []byte, dst []float64, nw int, disp dispatcher) ([]float64
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	err = parallelChunks(h.NumChunks, nw, disp, func(c int, _ *core.Scratch32, s *core.Scratch64) error {
+	err = parallelChunks(h.NumChunks, nw, disp, rec, func(c int, _ *core.Scratch32, s *core.Scratch64) error {
 		lo := c * core.ChunkWords64
 		hi := min(lo+core.ChunkWords64, n)
 		pl := payload[offsets[c] : offsets[c]+lengths[c]]
@@ -279,17 +335,22 @@ func decompress64(buf []byte, dst []float64, nw int, disp dispatcher) ([]float64
 // parallelChunks runs fn over every chunk index with dynamic assignment.
 // The first error wins; remaining chunks are still visited (they are cheap
 // and the data is discarded on error).
-func parallelChunks(numChunks, workers int, disp dispatcher, fn func(c int, s32 *core.Scratch32, s64 *core.Scratch64) error) error {
+func parallelChunks(numChunks, workers int, disp dispatcher, rec *obs.Recorder, fn func(c int, s32 *core.Scratch32, s64 *core.Scratch64) error) error {
 	var next int64
 	var firstErr atomic.Value
+	wt := workerTracks{rec: rec}
 	disp(workers, func() {
 		var s32 core.Scratch32
 		var s64 core.Scratch64
+		s32.Rec, s64.Rec = rec, rec
+		s32.Track = wt.next()
+		s64.Track = s32.Track
 		for {
 			c := int(atomic.AddInt64(&next, 1)) - 1
 			if c >= numChunks {
 				return
 			}
+			s32.Unit, s64.Unit = int32(c), int32(c)
 			if err := fn(c, &s32, &s64); err != nil {
 				firstErr.CompareAndSwap(nil, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"pfpl/internal/core"
+	"pfpl/internal/obs"
 )
 
 // Pool is a persistent set of compression workers shared across calls. The
@@ -89,20 +90,44 @@ func (p *Pool) dispatch(n int, work func()) {
 
 // Compress32 compresses src using the pool's workers.
 func (p *Pool) Compress32(src []float32, mode core.Mode, bound float64) ([]byte, error) {
-	return compress32(src, mode, bound, p.size, p.dispatch)
+	return compress32(src, mode, bound, p.size, p.dispatch, nil)
+}
+
+// Compress32Traced is Compress32 with per-chunk stage spans recorded on rec
+// (nil disables tracing at no cost).
+func (p *Pool) Compress32Traced(src []float32, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	return compress32(src, mode, bound, p.size, p.dispatch, rec)
 }
 
 // Decompress32 decodes buf using the pool's workers.
 func (p *Pool) Decompress32(buf []byte, dst []float32) ([]float32, error) {
-	return decompress32(buf, dst, p.size, p.dispatch)
+	return decompress32(buf, dst, p.size, p.dispatch, nil)
+}
+
+// Decompress32Traced is Decompress32 with per-chunk decode spans recorded
+// on rec (nil disables tracing at no cost).
+func (p *Pool) Decompress32Traced(buf []byte, dst []float32, rec *obs.Recorder) ([]float32, error) {
+	return decompress32(buf, dst, p.size, p.dispatch, rec)
 }
 
 // Compress64 compresses double-precision src using the pool's workers.
 func (p *Pool) Compress64(src []float64, mode core.Mode, bound float64) ([]byte, error) {
-	return compress64(src, mode, bound, p.size, p.dispatch)
+	return compress64(src, mode, bound, p.size, p.dispatch, nil)
+}
+
+// Compress64Traced is Compress64 with per-chunk stage spans recorded on rec
+// (nil disables tracing at no cost).
+func (p *Pool) Compress64Traced(src []float64, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	return compress64(src, mode, bound, p.size, p.dispatch, rec)
 }
 
 // Decompress64 decodes a double-precision stream using the pool's workers.
 func (p *Pool) Decompress64(buf []byte, dst []float64) ([]float64, error) {
-	return decompress64(buf, dst, p.size, p.dispatch)
+	return decompress64(buf, dst, p.size, p.dispatch, nil)
+}
+
+// Decompress64Traced is Decompress64 with per-chunk decode spans recorded
+// on rec (nil disables tracing at no cost).
+func (p *Pool) Decompress64Traced(buf []byte, dst []float64, rec *obs.Recorder) ([]float64, error) {
+	return decompress64(buf, dst, p.size, p.dispatch, rec)
 }

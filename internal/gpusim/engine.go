@@ -44,8 +44,10 @@ func (b *Block) ForEachWarp(fn func(w int)) {
 // wait on lower-numbered blocks, and the lowest-numbered unfinished block
 // never waits on an unstarted one.
 // makeKernel is invoked once per worker (per simulated SM) so each worker
-// owns private scratch playing the role of the SM's shared memory.
-func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func() func(b *Block)) {
+// owns private scratch playing the role of the SM's shared memory; the
+// worker index it receives identifies that SM (tracing uses it to label
+// per-SM tracks).
+func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func(sm int) func(b *Block)) {
 	if threadsPerBlock > m.MaxThreadsPerBlock {
 		threadsPerBlock = m.MaxThreadsPerBlock
 	}
@@ -54,7 +56,7 @@ func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func() func(b 
 		workers = blocks
 	}
 	if workers <= 1 {
-		kernel := makeKernel()
+		kernel := makeKernel(0)
 		blk := Block{Threads: threadsPerBlock}
 		for i := 0; i < blocks; i++ {
 			blk.Idx = i
@@ -66,9 +68,9 @@ func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func() func(b 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			kernel := makeKernel()
+			kernel := makeKernel(w)
 			blk := Block{Threads: threadsPerBlock}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -78,7 +80,7 @@ func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func() func(b 
 				blk.Idx = i
 				kernel(&blk)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -8,7 +8,7 @@ import (
 func TestGridVisitsEveryBlockOnce(t *testing.T) {
 	for _, blocks := range []int{0, 1, 7, 256} {
 		var visits [256]int32
-		RTX4090.Grid(blocks, 64, func() func(*Block) {
+		RTX4090.Grid(blocks, 64, func(int) func(*Block) {
 			return func(b *Block) {
 				atomic.AddInt32(&visits[b.Idx], 1)
 			}
@@ -25,7 +25,7 @@ func TestGridClampsThreadsToDeviceLimit(t *testing.T) {
 	small := DeviceModel{Name: "small", SMs: 1, CoresPerSM: 1, BoostClockGHz: 1,
 		MemBandwidthGBs: 1, MaxThreadsPerBlock: 128}
 	var got int32
-	small.Grid(1, 1024, func() func(*Block) {
+	small.Grid(1, 1024, func(int) func(*Block) {
 		return func(b *Block) { atomic.StoreInt32(&got, int32(b.Threads)) }
 	})
 	if got != 128 {
@@ -52,7 +52,7 @@ func TestForEachCoversAllThreads(t *testing.T) {
 func TestMakeKernelCalledPerWorkerNotPerBlock(t *testing.T) {
 	var factories int32
 	var blocks int32
-	RTX4090.Grid(64, 32, func() func(*Block) {
+	RTX4090.Grid(64, 32, func(int) func(*Block) {
 		atomic.AddInt32(&factories, 1)
 		return func(b *Block) { atomic.AddInt32(&blocks, 1) }
 	})

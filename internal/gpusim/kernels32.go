@@ -2,10 +2,12 @@ package gpusim
 
 import (
 	"encoding/binary"
+	"strconv"
 	"sync/atomic"
 
 	"pfpl/internal/bits"
 	"pfpl/internal/core"
+	"pfpl/internal/obs"
 )
 
 // threadsPerBlock is the block size the PFPL kernels request; the engine
@@ -42,6 +44,12 @@ type shared32 struct {
 	bm4    [core.ChunkBytes / 4096]byte
 	counts []int
 	out    [core.MaxChunkPayload]byte
+
+	// Tracing state: rec is nil when disabled; track is the simulated SM's
+	// lane and unit the chunk (block) index being processed.
+	rec   *obs.Recorder
+	track int32
+	unit  int32
 }
 
 func newShared32(threads int) *shared32 {
@@ -64,6 +72,8 @@ func (s *shared32) levels(p int) [][]byte {
 // warp-granularity bit shuffle, byte serialization, bitmap construction,
 // and scan-based compaction.
 func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, bool) {
+	rec := s.rec
+	tm := rec.Now()
 	n := len(src)
 	padded := core.PaddedWords32(n)
 	T := b.Threads
@@ -74,6 +84,7 @@ func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, b
 			s.quant[i] = p.EncodeValue32(src[i])
 		}
 	})
+	tm = rec.StageSpan(obs.StageQuantize, s.track, s.unit, tm)
 	// Phase 2: difference coding + negabinary. Each thread reads two
 	// neighboring quantized words; the separate output buffer removes the
 	// sequential dependence.
@@ -89,6 +100,7 @@ func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, b
 			}
 		}
 	})
+	tm = rec.StageSpan(obs.StageDelta, s.track, s.unit, tm)
 	// Phase 3: bit shuffle at warp granularity — each warp transposes
 	// 32-word groups with shuffle-instruction exchanges.
 	warps := (T + 31) / 32
@@ -98,6 +110,7 @@ func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, b
 			TransposeWarpShuffle32((*[32]uint32)(s.resid[g*32 : g*32+32]))
 		}
 	})
+	tm = rec.StageSpan(obs.StageShuffle, s.track, s.unit, tm)
 	// Phase 4: byte serialization of the shuffled words.
 	P := padded * 4
 	b.ForEach(func(t int) {
@@ -186,8 +199,10 @@ func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, b
 				binary.LittleEndian.PutUint32(s.out[i*4:], f32bits(src[i]))
 			}
 		})
+		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n*4), int64(n*4))
 		return n * 4, true
 	}
+	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n*4), int64(pos))
 	return pos, false
 }
 
@@ -300,6 +315,22 @@ func decodeChunk32(b *Block, p *core.Params, payload []byte, raw bool, dst []flo
 // Compress32 compresses src on the simulated device. The output stream is
 // bit-for-bit identical to the serial and parallel-CPU encoders' output.
 func Compress32(m DeviceModel, src []float32, mode core.Mode, bound float64) ([]byte, error) {
+	return Compress32Traced(m, src, mode, bound, nil)
+}
+
+// smTrack registers the per-SM lane for worker sm on rec (track 0 when
+// tracing is disabled).
+func smTrack(rec *obs.Recorder, sm int) int32 {
+	if rec == nil {
+		return 0
+	}
+	return rec.Track("sm-" + strconv.Itoa(sm))
+}
+
+// Compress32Traced is Compress32 with per-block kernel-phase spans recorded
+// on rec (nil disables tracing at no cost). Each simulated SM (grid worker)
+// gets its own track.
+func Compress32Traced(m DeviceModel, src []float32, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
 		rng = gridRange32(m, src)
@@ -321,16 +352,22 @@ func Compress32(m DeviceModel, src []float32, mode core.Mode, bound float64) ([]
 	out = append(out, make([]byte, len(src)*4)...)
 
 	lb := NewLookback(h.NumChunks)
-	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
+	m.Grid(h.NumChunks, threadsPerBlock, func(sm int) func(*Block) {
 		s := newShared32(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		s.rec = rec
+		s.track = smTrack(rec, sm)
 		return func(b *Block) {
 			c := b.Idx
 			lo := c * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, len(src))
+			s.unit = int32(c)
 			size, raw := encodeChunk32(b, &p, src[lo:hi], s)
 			core.PutChunkSize(out, c, size, raw)
+			t := rec.Now()
 			prefix := lb.ExclusivePrefix(c, int64(size))
+			t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
 			copy(out[payloadStart+int(prefix):], s.out[:size])
+			rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
 		}
 	})
 	end := payloadStart + int(lb.Total())
@@ -339,6 +376,12 @@ func Compress32(m DeviceModel, src []float32, mode core.Mode, bound float64) ([]
 
 // Decompress32 decodes buf on the simulated device.
 func Decompress32(m DeviceModel, buf []byte, dst []float32) ([]float32, error) {
+	return Decompress32Traced(m, buf, dst, nil)
+}
+
+// Decompress32Traced is Decompress32 with per-block decode spans recorded
+// on rec (nil disables tracing at no cost).
+func Decompress32Traced(m DeviceModel, buf []byte, dst []float32, rec *obs.Recorder) ([]float32, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -362,16 +405,24 @@ func Decompress32(m DeviceModel, buf []byte, dst []float32) ([]float32, error) {
 	}
 	dst = dst[:n]
 	var firstErr atomic.Value
-	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
+	m.Grid(h.NumChunks, threadsPerBlock, func(sm int) func(*Block) {
 		s := newShared32(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		track := smTrack(rec, sm)
 		return func(b *Block) {
 			c := b.Idx
 			lo := c * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, n)
 			pl := payload[offsets[c] : offsets[c]+lengths[c]]
+			t := rec.Now()
 			if err := decodeChunk32(b, &p, pl, raws[c], dst[lo:hi], s); err != nil {
 				firstErr.CompareAndSwap(nil, err)
+				return
 			}
+			outc := obs.OutcomeCompressed
+			if raws[c] {
+				outc = obs.OutcomeRaw
+			}
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), int64((hi-lo)*4))
 		}
 	})
 	if err, ok := firstErr.Load().(error); ok {
@@ -392,7 +443,7 @@ func gridRange32(m DeviceModel, src []float32) float64 {
 		ok     bool
 	}
 	parts := make([]part, nBlocks)
-	m.Grid(nBlocks, threadsPerBlock, func() func(*Block) {
+	m.Grid(nBlocks, threadsPerBlock, func(int) func(*Block) {
 		return func(b *Block) {
 			lo := b.Idx * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, len(src))

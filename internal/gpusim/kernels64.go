@@ -6,6 +6,7 @@ import (
 
 	"pfpl/internal/bits"
 	"pfpl/internal/core"
+	"pfpl/internal/obs"
 )
 
 // shared64 is the double-precision shared-memory working set; the word size
@@ -20,6 +21,11 @@ type shared64 struct {
 	bm4    [core.ChunkBytes / 4096]byte
 	counts []int
 	out    [core.MaxChunkPayload]byte
+
+	// Tracing state; see shared32.
+	rec   *obs.Recorder
+	track int32
+	unit  int32
 }
 
 func newShared64(threads int) *shared64 {
@@ -35,6 +41,8 @@ func (s *shared64) levels(p int) [][]byte {
 }
 
 func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, bool) {
+	rec := s.rec
+	tm := rec.Now()
 	n := len(src)
 	padded := core.PaddedWords64(n)
 	T := b.Threads
@@ -44,6 +52,7 @@ func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, b
 			s.quant[i] = p.EncodeValue64(src[i])
 		}
 	})
+	tm = rec.StageSpan(obs.StageQuantize, s.track, s.unit, tm)
 	b.ForEach(func(t int) {
 		for i := t; i < padded; i += T {
 			switch {
@@ -56,6 +65,7 @@ func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, b
 			}
 		}
 	})
+	tm = rec.StageSpan(obs.StageDelta, s.track, s.unit, tm)
 	// Warp-pair granularity: two warps cooperate on each 64-word group
 	// (the paper's "chunk of 32 or 64 values" per warp, §III.E).
 	warps := (T + 31) / 32
@@ -65,6 +75,7 @@ func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, b
 			TransposeWarpShuffle64((*[64]uint64)(s.resid[g*64 : g*64+64]))
 		}
 	})
+	tm = rec.StageSpan(obs.StageShuffle, s.track, s.unit, tm)
 	P := padded * 8
 	b.ForEach(func(t int) {
 		for i := t; i < padded; i += T {
@@ -146,8 +157,10 @@ func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, b
 				binary.LittleEndian.PutUint64(s.out[i*8:], f64bits(src[i]))
 			}
 		})
+		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n*8), int64(n*8))
 		return n * 8, true
 	}
+	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n*8), int64(pos))
 	return pos, false
 }
 
@@ -250,6 +263,12 @@ func decodeChunk64(b *Block, p *core.Params, payload []byte, raw bool, dst []flo
 
 // Compress64 compresses double-precision data on the simulated device.
 func Compress64(m DeviceModel, src []float64, mode core.Mode, bound float64) ([]byte, error) {
+	return Compress64Traced(m, src, mode, bound, nil)
+}
+
+// Compress64Traced is Compress64 with per-block kernel-phase spans recorded
+// on rec (nil disables tracing at no cost).
+func Compress64Traced(m DeviceModel, src []float64, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
 	var rng float64
 	if mode == core.NOA {
 		rng = gridRange64(m, src)
@@ -272,16 +291,22 @@ func Compress64(m DeviceModel, src []float64, mode core.Mode, bound float64) ([]
 	out = append(out, make([]byte, len(src)*8)...)
 
 	lb := NewLookback(h.NumChunks)
-	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
+	m.Grid(h.NumChunks, threadsPerBlock, func(sm int) func(*Block) {
 		s := newShared64(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		s.rec = rec
+		s.track = smTrack(rec, sm)
 		return func(b *Block) {
 			c := b.Idx
 			lo := c * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, len(src))
+			s.unit = int32(c)
 			size, raw := encodeChunk64(b, &p, src[lo:hi], s)
 			core.PutChunkSize(out, c, size, raw)
+			t := rec.Now()
 			prefix := lb.ExclusivePrefix(c, int64(size))
+			t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
 			copy(out[payloadStart+int(prefix):], s.out[:size])
+			rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
 		}
 	})
 	end := payloadStart + int(lb.Total())
@@ -290,6 +315,12 @@ func Compress64(m DeviceModel, src []float64, mode core.Mode, bound float64) ([]
 
 // Decompress64 decodes a double-precision stream on the simulated device.
 func Decompress64(m DeviceModel, buf []byte, dst []float64) ([]float64, error) {
+	return Decompress64Traced(m, buf, dst, nil)
+}
+
+// Decompress64Traced is Decompress64 with per-block decode spans recorded
+// on rec (nil disables tracing at no cost).
+func Decompress64Traced(m DeviceModel, buf []byte, dst []float64, rec *obs.Recorder) ([]float64, error) {
 	h, err := core.ParseHeader(buf)
 	if err != nil {
 		return nil, err
@@ -312,16 +343,24 @@ func Decompress64(m DeviceModel, buf []byte, dst []float64) ([]float64, error) {
 	}
 	dst = dst[:n]
 	var firstErr atomic.Value
-	m.Grid(h.NumChunks, threadsPerBlock, func() func(*Block) {
+	m.Grid(h.NumChunks, threadsPerBlock, func(sm int) func(*Block) {
 		s := newShared64(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		track := smTrack(rec, sm)
 		return func(b *Block) {
 			c := b.Idx
 			lo := c * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, n)
 			pl := payload[offsets[c] : offsets[c]+lengths[c]]
+			t := rec.Now()
 			if err := decodeChunk64(b, &p, pl, raws[c], dst[lo:hi], s); err != nil {
 				firstErr.CompareAndSwap(nil, err)
+				return
 			}
+			outc := obs.OutcomeCompressed
+			if raws[c] {
+				outc = obs.OutcomeRaw
+			}
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), int64((hi-lo)*8))
 		}
 	})
 	if err, ok := firstErr.Load().(error); ok {
@@ -340,7 +379,7 @@ func gridRange64(m DeviceModel, src []float64) float64 {
 		ok     bool
 	}
 	parts := make([]part, nBlocks)
-	m.Grid(nBlocks, threadsPerBlock, func() func(*Block) {
+	m.Grid(nBlocks, threadsPerBlock, func(int) func(*Block) {
 		return func(b *Block) {
 			lo := b.Idx * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, len(src))

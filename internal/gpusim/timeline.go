@@ -1,0 +1,162 @@
+package gpusim
+
+import (
+	"fmt"
+	"io"
+
+	"pfpl/internal/core"
+	"pfpl/internal/obs"
+)
+
+// Timeline reconstruction of the modelled GPU schedule. Wall-clock spans
+// from the simulator reflect host goroutine scheduling, not the device the
+// roofline model prices; ModelTimeline instead lays the compressed stream's
+// actual chunks out on the modelled device — one thread block per chunk,
+// blocks dispatched in order to the earliest-free SM, per-block time from
+// the same per-value instruction costs EstimateSeconds uses — producing a
+// schedule that can be exported as a Chrome trace and inspected in Perfetto.
+
+// CompressStages lists the per-block stages of the modelled compression
+// schedule, in execution order. Every block contributes exactly one span
+// per stage, so a timeline holds Blocks × len(CompressStages) spans.
+var CompressStages = [...]obs.Stage{
+	obs.StageQuantize, obs.StageDelta, obs.StageShuffle,
+	obs.StageEncode, obs.StageCarryWait, obs.StageEmit,
+}
+
+// Fractions of a block's modelled compute time attributed to each kernel
+// phase. These are fixed architectural estimates (the shuffle and
+// compaction phases dominate the fused kernel; quantization is one
+// multiply-round per value), not measurements.
+const (
+	fracQuantize = 0.30
+	fracDelta    = 0.12
+	fracShuffle  = 0.22
+	fracEncode   = 0.36
+)
+
+// Timeline is the modelled per-SM schedule of one compressed stream.
+type Timeline struct {
+	Device DeviceModel
+	// Blocks is the number of thread blocks (chunks) scheduled.
+	Blocks int
+	// Spans holds Blocks × len(CompressStages) spans with modelled
+	// timestamps in nanoseconds; Track is the SM index.
+	Spans []obs.Span
+	// Tracks names each SM lane, indexed by Span.Track.
+	Tracks []string
+	// TotalNS is the modelled makespan (the last block's emit end).
+	TotalNS int64
+}
+
+// ModelTimeline reconstructs the modelled schedule for a compressed stream
+// (one whole PFPL container, without a trailing checksum). Per-block
+// compute time comes from the roofline model's instruction costs; the
+// ordered concatenation of the carry/look-back chain appears as a
+// carry-wait span between each block's encode and its emit, and emit time
+// charges the block's payload against its SM's share of memory bandwidth.
+func ModelTimeline(m DeviceModel, comp []byte) (*Timeline, error) {
+	h, err := core.ParseHeader(comp)
+	if err != nil {
+		return nil, err
+	}
+	_, lengths, raws, _, err := core.ChunkTable(comp, &h)
+	if err != nil {
+		return nil, err
+	}
+	elem, chunkWords := 4, core.ChunkWords32
+	if h.Prec64 {
+		elem, chunkWords = 8, core.ChunkWords64
+	}
+	ops := float64(opsPerValueCompress)
+	if h.Mode == core.REL {
+		ops += relOpsExtra
+	}
+	if h.Prec64 {
+		ops *= 2
+	}
+	// Per-SM compute rate in ops/ns and memory share in bytes/ns.
+	opsPerNS := float64(m.CoresPerSM) * m.BoostClockGHz
+	if m.MaxThreadsPerBlock < 1536 {
+		opsPerNS /= 1.08
+	}
+	bytesPerNS := m.MemBandwidthGBs / float64(m.SMs)
+
+	usedSMs := min(m.SMs, h.NumChunks)
+	tl := &Timeline{
+		Device: m,
+		Blocks: h.NumChunks,
+		Spans:  make([]obs.Span, 0, h.NumChunks*len(CompressStages)),
+		Tracks: make([]string, usedSMs),
+	}
+	for i := range tl.Tracks {
+		tl.Tracks[i] = fmt.Sprintf("SM %d", i)
+	}
+	smFree := make([]float64, usedSMs)
+	n := int(h.Count)
+	prevEmitEnd := 0.0
+	for c := 0; c < h.NumChunks; c++ {
+		// Blocks dispatch in order to the earliest-free SM — the same
+		// in-order dynamic assignment Grid implements.
+		sm := 0
+		for i := 1; i < usedSMs; i++ {
+			if smFree[i] < smFree[sm] {
+				sm = i
+			}
+		}
+		lo := c * chunkWords
+		hi := min(lo+chunkWords, n)
+		words := hi - lo
+		computeNS := float64(words) * ops / opsPerNS
+		start := smFree[sm]
+		t := start
+		outcome := obs.OutcomeCompressed
+		if raws[c] {
+			outcome = obs.OutcomeRaw
+		}
+		for _, stage := range CompressStages {
+			var dur float64
+			var spanOutcome obs.Outcome
+			var bin, bout int64
+			switch stage {
+			case obs.StageQuantize:
+				dur = computeNS * fracQuantize
+			case obs.StageDelta:
+				dur = computeNS * fracDelta
+			case obs.StageShuffle:
+				dur = computeNS * fracShuffle
+			case obs.StageEncode:
+				dur = computeNS * fracEncode
+				spanOutcome = outcome
+				bin, bout = int64(words*elem), int64(lengths[c])
+			case obs.StageCarryWait:
+				// Ordered concatenation: the block stalls until its
+				// predecessor's payload has landed.
+				if wait := prevEmitEnd - t; wait > 0 {
+					dur = wait
+				}
+			case obs.StageEmit:
+				dur = float64(lengths[c]) / bytesPerNS
+			}
+			tl.Spans = append(tl.Spans, obs.Span{
+				Start: int64(t), Dur: int64(dur),
+				Track: int32(sm), Unit: int32(c), Stage: stage,
+				Outcome: spanOutcome, BytesIn: bin, BytesOut: bout,
+			})
+			t += dur
+		}
+		prevEmitEnd = t
+		smFree[sm] = t
+		if ns := int64(t); ns > tl.TotalNS {
+			tl.TotalNS = ns
+		}
+	}
+	return tl, nil
+}
+
+// WriteChromeTrace exports the modelled schedule as Chrome trace-event
+// JSON, one lane per SM.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	process := "pfpl gpusim (modelled) " + t.Device.Name
+	return obs.WriteChromeTrace(w, process, t.Tracks, t.Spans)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" understood by
+// Perfetto and chrome://tracing). Each recorder track becomes one thread
+// lane (tid), each span one complete "X" event; timestamps are microseconds
+// with sub-microsecond precision preserved as fractions.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serialises spans as Chrome trace-event JSON. The process
+// name labels the whole trace; tracks[i] names the lane for Track id i
+// (spans referencing tracks beyond len(tracks) get a generated name).
+func WriteChromeTrace(w io.Writer, process string, tracks []string, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans)+len(tracks)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	// Name every referenced lane, even ones past the supplied track table.
+	maxTrack := len(tracks) - 1
+	for _, sp := range spans {
+		if int(sp.Track) > maxTrack {
+			maxTrack = int(sp.Track)
+		}
+	}
+	for tid := 0; tid <= maxTrack; tid++ {
+		name := fmt.Sprintf("track-%d", tid)
+		if tid < len(tracks) {
+			name = tracks[tid]
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for _, sp := range ordered {
+		args := map[string]any{"unit": sp.Unit}
+		if sp.Outcome != OutcomeNone {
+			args["outcome"] = sp.Outcome.String()
+			args["bytes_in"] = sp.BytesIn
+			args["bytes_out"] = sp.BytesOut
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Stage.String(),
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			Pid:  0,
+			Tid:  int(sp.Track),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace exports the recorder's retained spans (see Spans) under
+// the given process name.
+func (r *Recorder) WriteChromeTrace(w io.Writer, process string) error {
+	return WriteChromeTrace(w, process, r.TrackNames(), r.Spans())
+}

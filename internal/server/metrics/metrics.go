@@ -133,15 +133,20 @@ const histBuckets = 64
 type Histogram struct {
 	mu      sync.Mutex
 	count   int64
+	finite  int64
+	nans    int64
 	sum     float64
 	min     float64
 	max     float64
 	buckets [histBuckets]int64
 }
 
-// bucketOf maps v to its power-of-two bucket index.
+// bucketOf maps v to its power-of-two bucket index. Bucket 0 is the clamp
+// bucket: zero, negative, and sub-1 values (latency in fractional
+// nanoseconds cannot happen, but byte counts of 0 can) all land there, and
+// +Inf clamps into the top bucket.
 func bucketOf(v float64) int {
-	if !(v >= 1) { // v < 1, NaN
+	if !(v >= 1) { // v < 1 (including 0, negatives, -Inf)
 		return 0
 	}
 	e := math.Ilogb(v) + 1
@@ -151,28 +156,39 @@ func bucketOf(v float64) int {
 	return e
 }
 
-// Observe records one value. Non-finite values are clamped into the
-// outermost buckets rather than dropped, so a pathological measurement
-// still shows up in the counts.
+// Observe records one value. Every observation increments the count, but
+// the value classes are handled defensively: NaN goes to a dedicated
+// counter (it carries no ordering or magnitude — it must not poison
+// min/max or land in a bucket); ±Inf is clamped into the outermost bucket
+// and excluded from sum/min/max; zero and negative values clamp into
+// bucket 0.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if h.count == 0 || v > h.max {
-		h.max = v
-	}
 	h.count++
-	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+	if math.IsNaN(v) {
+		h.nans++
+		return
+	}
+	if !math.IsInf(v, 0) {
+		if h.finite == 0 || v < h.min {
+			h.min = v
+		}
+		if h.finite == 0 || v > h.max {
+			h.max = v
+		}
+		h.finite++
 		h.sum += v
 	}
 	h.buckets[bucketOf(v)]++
 }
 
-// Snapshot is a consistent copy of a histogram's state.
+// Snapshot is a consistent copy of a histogram's state. Min, Max, and Sum
+// cover the finite observations only; NaNs counts NaN observations (which
+// are included in Count but in no bucket).
 type Snapshot struct {
 	Count    int64
+	NaNs     int64
 	Sum      float64
 	Min, Max float64
 	Buckets  [histBuckets]int64
@@ -182,7 +198,7 @@ type Snapshot struct {
 func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+	return Snapshot{Count: h.count, NaNs: h.nans, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
 }
 
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the

@@ -62,10 +62,94 @@ func TestHistogramNonFinite(t *testing.T) {
 	if s.Sum != 5 {
 		t.Fatalf("sum = %g, want 5 (non-finite excluded from the sum)", s.Sum)
 	}
-	// The String summary must still be valid JSON despite Inf max.
+	if s.NaNs != 1 {
+		t.Fatalf("nans = %d, want 1", s.NaNs)
+	}
+	if s.Min != 5 || s.Max != 5 {
+		t.Fatalf("min/max = %g/%g, want 5/5 (finite observations only)", s.Min, s.Max)
+	}
+	// The String summary must be valid JSON.
 	var out map[string]any
 	if err := json.Unmarshal([]byte(h.String()), &out); err != nil {
 		t.Fatalf("histogram JSON invalid: %v\n%s", err, h.String())
+	}
+}
+
+func TestHistogramHardening(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		count   int64
+		nans    int64
+		sum     float64
+		min     float64
+		max     float64
+		buckets map[int]int64 // expected nonzero buckets
+	}{
+		{
+			name:   "negative and zero clamp to bucket 0",
+			values: []float64{-5, 0, -0.5, 2},
+			count:  4, sum: -3.5, min: -5, max: 2,
+			buckets: map[int]int64{0: 3, 2: 1},
+		},
+		{
+			name:   "NaN only",
+			values: []float64{math.NaN(), math.NaN()},
+			count:  2, nans: 2, sum: 0, min: 0, max: 0,
+			buckets: map[int]int64{},
+		},
+		{
+			name:   "NaN first does not poison min/max",
+			values: []float64{math.NaN(), 3, 7},
+			count:  3, nans: 1, sum: 10, min: 3, max: 7,
+			buckets: map[int]int64{2: 1, 3: 1},
+		},
+		{
+			name:   "negative infinity clamps to bucket 0",
+			values: []float64{math.Inf(-1), 1},
+			count:  2, sum: 1, min: 1, max: 1,
+			buckets: map[int]int64{0: 1, 1: 1},
+		},
+		{
+			name:   "positive infinity clamps to top bucket",
+			values: []float64{math.Inf(1), 4},
+			count:  2, sum: 4, min: 4, max: 4,
+			buckets: map[int]int64{3: 1, histBuckets - 1: 1},
+		},
+		{
+			name:   "huge value clamps to top bucket",
+			values: []float64{math.MaxFloat64},
+			count:  1, sum: math.MaxFloat64, min: math.MaxFloat64, max: math.MaxFloat64,
+			buckets: map[int]int64{histBuckets - 1: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.values {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			if s.Count != tc.count || s.NaNs != tc.nans {
+				t.Fatalf("count/nans = %d/%d, want %d/%d", s.Count, s.NaNs, tc.count, tc.nans)
+			}
+			if s.Sum != tc.sum {
+				t.Fatalf("sum = %g, want %g", s.Sum, tc.sum)
+			}
+			if s.Min != tc.min || s.Max != tc.max {
+				t.Fatalf("min/max = %g/%g, want %g/%g", s.Min, s.Max, tc.min, tc.max)
+			}
+			for i, c := range s.Buckets {
+				if want := tc.buckets[i]; c != want {
+					t.Fatalf("bucket %d = %d, want %d", i, c, want)
+				}
+			}
+			// Summaries must stay valid JSON whatever was observed.
+			var out map[string]any
+			if err := json.Unmarshal([]byte(h.String()), &out); err != nil {
+				t.Fatalf("histogram JSON invalid: %v\n%s", err, h.String())
+			}
+		})
 	}
 }
 

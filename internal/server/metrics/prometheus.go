@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"expvar"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a Registry. The
+// dotted metric names of this package sanitize to underscore-separated
+// Prometheus names under a namespace prefix; counters gain the
+// conventional _total suffix, and histograms render their power-of-two
+// buckets as the cumulative le-labelled series Prometheus expects, with
+// the original dotted name preserved in the HELP line.
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format under the given namespace prefix.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	var b strings.Builder
+	r.Do(func(name string, v expvar.Var) {
+		switch m := v.(type) {
+		case *expvar.Int:
+			base := promName(namespace, name) + "_total"
+			b.WriteString("# HELP " + base + " " + promHelp(name) + "\n")
+			b.WriteString("# TYPE " + base + " counter\n")
+			b.WriteString(base + " " + strconv.FormatInt(m.Value(), 10) + "\n")
+		case *Histogram:
+			s := m.Snapshot()
+			base := promName(namespace, name)
+			b.WriteString("# HELP " + base + " " + promHelp(name) + "\n")
+			b.WriteString("# TYPE " + base + " histogram\n")
+			// Emit buckets up to the highest occupied one; the +Inf bucket
+			// carries the full count (including NaN observations, which live
+			// in no finite bucket).
+			top := 0
+			for i, c := range s.Buckets {
+				if c > 0 {
+					top = i
+				}
+			}
+			var cum int64
+			for i := 0; i <= top; i++ {
+				cum += s.Buckets[i]
+				b.WriteString(base + `_bucket{le="` + promEdge(i) + `"} ` +
+					strconv.FormatInt(cum, 10) + "\n")
+			}
+			b.WriteString(base + `_bucket{le="+Inf"} ` + strconv.FormatInt(s.Count, 10) + "\n")
+			b.WriteString(base + "_sum " + strconv.FormatFloat(s.Sum, 'g', -1, 64) + "\n")
+			b.WriteString(base + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a dotted metric name into the Prometheus identifier
+// charset [a-zA-Z0-9_:], prefixed with the namespace.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes a HELP text per the exposition format: backslash and
+// newline are the only characters needing escapes on HELP lines.
+func promHelp(text string) string {
+	text = strings.ReplaceAll(text, `\`, `\\`)
+	return strings.ReplaceAll(text, "\n", `\n`)
+}
+
+// promEdge formats bucket i's upper edge as a le label value: bucket 0
+// holds everything below 1, bucket i tops out at 2^i.
+func promEdge(i int) string {
+	if i == 0 {
+		return "1"
+	}
+	return strconv.FormatFloat(math.Ldexp(1, i), 'g', -1, 64)
+}

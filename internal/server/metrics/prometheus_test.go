@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusCounter(t *testing.T) {
+	r := New()
+	r.Counter("requests.compress.ok").Add(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pfpl_requests_compress_ok_total requests.compress.ok\n",
+		"# TYPE pfpl_requests_compress_ok_total counter\n",
+		"pfpl_requests_compress_ok_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	if got := promName("pfpl", "bytes.in-flight"); got != "pfpl_bytes_in_flight" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("", "2fast"); got != "_2fast" {
+		t.Fatalf("leading digit not guarded: %q", got)
+	}
+	if got := promName("ns", "a:b_c9"); got != "ns_a:b_c9" {
+		t.Fatalf("allowed charset mangled: %q", got)
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := New()
+	r.Counter(`weird\name` + "\n" + `metric`).Add(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP pfpl_weird_name_metric_total weird\\name\nmetric`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# HELP") && strings.ContainsAny(line, "\r") {
+			t.Fatalf("raw control character in HELP line %q", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramCumulative checks the le-bucket series: each
+// bucket's value must include all smaller buckets, and the +Inf bucket
+// must equal the total observation count even when NaNs were observed.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency")
+	for _, v := range []float64{0.5, 1, 2, 3, 700, math.NaN()} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	bucketRe := regexp.MustCompile(`^pfpl_latency_bucket\{le="([^"]+)"\} (\d+)$`)
+	var last int64 = -1
+	var infSeen bool
+	var infVal int64
+	for _, line := range strings.Split(out, "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q (%d after %d)", line, v, last)
+		}
+		last = v
+		if m[1] == "+Inf" {
+			infSeen, infVal = true, v
+		}
+	}
+	if !infSeen {
+		t.Fatalf("no +Inf bucket:\n%s", out)
+	}
+	if infVal != 6 {
+		t.Fatalf("+Inf bucket = %d, want total count 6 (NaN included)", infVal)
+	}
+	if !strings.Contains(out, "pfpl_latency_count 6\n") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "pfpl_latency_sum 706.5\n") {
+		t.Fatalf("missing or wrong _sum:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE pfpl_latency histogram\n") {
+		t.Fatalf("missing histogram TYPE:\n%s", out)
+	}
+}
+
+// TestPrometheusExpositionLint is a line-level lint of the full output:
+// every line must be a comment or a `name{labels} value` sample with a
+// legal metric name, and no metric may repeat its TYPE header.
+func TestPrometheusExpositionLint(t *testing.T) {
+	r := New()
+	r.Counter("requests.ok").Add(3)
+	r.Counter("bytes.in").Add(12345)
+	h := r.Histogram("latency_ns.compress")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i * 1000))
+	}
+	r.Histogram("empty.histogram")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9.eE+-]+$|^[a-zA-Z_:][a-zA-Z0-9_:]* NaN$`)
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if types[fields[2]] {
+				t.Fatalf("duplicate TYPE for %q", fields[2])
+			}
+			types[fields[2]] = true
+			if fields[3] != "counter" && fields[3] != "histogram" {
+				t.Fatalf("unexpected TYPE %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	if len(types) != 4 {
+		t.Fatalf("got %d TYPE headers, want 4", len(types))
+	}
+}

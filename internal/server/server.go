@@ -26,12 +26,16 @@ package server
 import (
 	"bufio"
 	"context"
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -74,6 +78,16 @@ type Config struct {
 	// Metrics receives the server's instrumentation (nil = a fresh
 	// registry, retrievable via Metrics()).
 	Metrics *metrics.Registry
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// GET /debug/pprof/. Off by default: the profile endpoints can stall a
+	// loaded process and belong behind deliberate opt-in (and, in any real
+	// deployment, network-level access control).
+	EnablePprof bool
+	// Logger, when non-nil, enables structured request logging: one line
+	// per request with a generated request id (also answered in the
+	// X-Request-Id response header), method, path, status, response bytes,
+	// and duration.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP service. Create with New, serve via ServeHTTP (it
@@ -86,6 +100,8 @@ type Server struct {
 	reg      *metrics.Registry
 	mux      *http.ServeMux
 	draining atomic.Bool
+	idBase   string // per-process random prefix for request ids
+	reqSeq   atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -107,15 +123,83 @@ func New(cfg Config) *Server {
 		reg:   cfg.Metrics,
 		mux:   http.NewServeMux(),
 	}
+	var seed [4]byte
+	rand.Read(seed[:])
+	s.idBase = hex.EncodeToString(seed[:])
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With a configured Logger every request
+// is logged on completion, tagged with a process-unique request id.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	id := s.idBase + "-" + strconv.FormatUint(s.reqSeq.Add(1), 16)
+	w.Header().Set("X-Request-Id", id)
+	sw := &statusWriter{ResponseWriter: w}
+	t0 := time.Now()
+	// Deferred, not post-call: a handler that aborts a broken stream
+	// (http.ErrAbortHandler) still gets its request logged on the way out.
+	defer func() {
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status()),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(t0)))
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter observes the status code and body size flowing through a
+// logged request. Unwrap keeps http.ResponseController working — the
+// streaming handlers rely on EnableFullDuplex reaching the real writer.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// status is the logged status code: an implicit 200 when the handler never
+// wrote anything.
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
 
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
@@ -591,6 +675,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w, "pfpl")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	io.WriteString(w, s.reg.String())
+}
+
+// wantsPrometheus decides the metrics representation: an explicit format
+// query parameter wins, then an Accept header naming a text exposition;
+// the default stays JSON so existing scrapers keep working.
+func wantsPrometheus(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }

@@ -84,6 +84,11 @@ type Options struct {
 	// verifies it on decompression, turning silent bit corruption into a
 	// clean error. The trailer is byte-identical across devices.
 	Checksum bool
+	// Trace, when non-nil, collects per-chunk stage spans and aggregate
+	// statistics from the executor (see NewTracer). Tracing never changes
+	// the output bytes; a Device that does not support tracing runs
+	// untraced. Nil disables tracing at zero cost.
+	Trace *Tracer
 }
 
 func (o *Options) device() Device {
@@ -95,7 +100,14 @@ func (o *Options) device() Device {
 
 // Compress32 compresses single-precision data.
 func Compress32(src []float32, opts Options) ([]byte, error) {
-	comp, err := opts.device().Compress32(src, opts.Mode, opts.Bound)
+	dev := opts.device()
+	var comp []byte
+	var err error
+	if td, ok := dev.(traceDevice); ok && opts.Trace != nil {
+		comp, err = td.compress32Traced(src, opts.Mode, opts.Bound, opts.Trace)
+	} else {
+		comp, err = dev.Compress32(src, opts.Mode, opts.Bound)
+	}
 	if err != nil || !opts.Checksum {
 		return comp, err
 	}
@@ -110,12 +122,23 @@ func Decompress32(buf []byte, dst []float32, opts Options) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return opts.device().Decompress32(buf, dst)
+	dev := opts.device()
+	if td, ok := dev.(traceDevice); ok && opts.Trace != nil {
+		return td.decompress32Traced(buf, dst, opts.Trace)
+	}
+	return dev.Decompress32(buf, dst)
 }
 
 // Compress64 compresses double-precision data.
 func Compress64(src []float64, opts Options) ([]byte, error) {
-	comp, err := opts.device().Compress64(src, opts.Mode, opts.Bound)
+	dev := opts.device()
+	var comp []byte
+	var err error
+	if td, ok := dev.(traceDevice); ok && opts.Trace != nil {
+		comp, err = td.compress64Traced(src, opts.Mode, opts.Bound, opts.Trace)
+	} else {
+		comp, err = dev.Compress64(src, opts.Mode, opts.Bound)
+	}
 	if err != nil || !opts.Checksum {
 		return comp, err
 	}
@@ -128,7 +151,11 @@ func Decompress64(buf []byte, dst []float64, opts Options) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return opts.device().Decompress64(buf, dst)
+	dev := opts.device()
+	if td, ok := dev.(traceDevice); ok && opts.Trace != nil {
+		return td.decompress64Traced(buf, dst, opts.Trace)
+	}
+	return dev.Decompress64(buf, dst)
 }
 
 // Info describes a compressed stream without decoding it.

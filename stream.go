@@ -73,6 +73,14 @@ type StreamOptions struct {
 	// server enforces per-request deadlines on streaming requests (see
 	// internal/server).
 	Context context.Context
+	// Trace, when non-nil, receives frame-level stage spans from the
+	// pipeline workers: encode (with frame byte sizes), carry-wait (the
+	// in-order emission turn), and emit. It supersedes Options.Trace for
+	// the per-frame compression calls — frames are the streaming unit, and
+	// recording both frame and chunk spans would double the byte
+	// accounting. Nil keeps aggregate statistics only, readable via the
+	// writer's Stats method.
+	Trace *Tracer
 }
 
 func (o StreamOptions) frameValues() int {
@@ -126,11 +134,27 @@ func NewWriter32(w io.Writer, opts Options, sopts StreamOptions) (*Writer32, err
 	}
 	workers := streamWorkers(sopts.Concurrency)
 	copts := frameCompressOptions(opts, workers)
+	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float32) ([]byte, error) { return Compress32(vals, copts) }
 	sw := &Writer32{}
-	sw.s.init(w, enc, sopts.Context, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 4, sopts.frameValues(), workers)
 	return sw, nil
 }
+
+// streamTracer resolves a stream's recorder: the caller's Tracer when set,
+// otherwise a stats-only recorder so the writer's Stats method always has
+// aggregates to report.
+func streamTracer(t *Tracer) *Tracer {
+	if t != nil {
+		return t
+	}
+	return NewTracer(0)
+}
+
+// Stats returns the aggregate frame statistics recorded so far: frames
+// emitted, bytes in and out, and per-stage pipeline time. It is safe to
+// call at any point, including after Close.
+func (w *Writer32) Stats() CompressStats { return w.s.pipe.rec.Stats() }
 
 // Write buffers vals, handing complete frames to the pipeline. A sticky
 // pipeline error (the first frame's compression or write error, in frame
@@ -154,11 +178,16 @@ func NewWriter64(w io.Writer, opts Options, sopts StreamOptions) (*Writer64, err
 	}
 	workers := streamWorkers(sopts.Concurrency)
 	copts := frameCompressOptions(opts, workers)
+	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float64) ([]byte, error) { return Compress64(vals, copts) }
 	sw := &Writer64{}
-	sw.s.init(w, enc, sopts.Context, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 8, sopts.frameValues(), workers)
 	return sw, nil
 }
+
+// Stats returns the aggregate frame statistics recorded so far (see
+// Writer32.Stats).
+func (w *Writer64) Stats() CompressStats { return w.s.pipe.rec.Stats() }
 
 // Write buffers vals, handing complete frames to the pipeline.
 func (w *Writer64) Write(vals []float64) error { return w.s.write(vals) }

@@ -17,9 +17,11 @@ package pfpl
 import (
 	"context"
 	"io"
+	"strconv"
 	"sync"
 
 	"pfpl/internal/cpucomp"
+	"pfpl/internal/obs"
 )
 
 // streamWorkers resolves a requested concurrency: <= 0 means one worker
@@ -32,6 +34,7 @@ func streamWorkers(requested int) int {
 // token pair from the chain.
 type frameJob[T any] struct {
 	vals []T
+	idx  int32 // frame index, the span unit label
 	turn <-chan struct{}
 	done chan struct{}
 }
@@ -42,19 +45,22 @@ type framePipe[T any] struct {
 	dst   io.Writer
 	enc   func([]T) ([]byte, error)
 	ctx   context.Context
+	rec   *obs.Recorder
+	elem  int64 // bytes per value, for frame byte accounting
 	jobs  chan frameJob[T]
 	wg    sync.WaitGroup
 	chain *cpucomp.Chain
 	// pool recycles frame value buffers: a worker returns a frame's buffer
 	// after compressing it, and the writer's next fill takes it back.
-	pool  sync.Pool
-	limit int
+	pool   sync.Pool
+	limit  int
+	frames int32 // next frame index; touched only by submit's caller
 
 	mu  sync.Mutex
 	err error
 }
 
-func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, limit, workers int) *framePipe[T] {
+func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int) *framePipe[T] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -62,6 +68,8 @@ func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx conte
 		dst:   dst,
 		enc:   enc,
 		ctx:   ctx,
+		rec:   rec,
+		elem:  elem,
 		chain: cpucomp.NewChain(),
 		// The job queue bounds frames in flight: at most `workers` queued
 		// plus `workers` being compressed, so memory stays proportional to
@@ -71,7 +79,7 @@ func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx conte
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -84,16 +92,23 @@ func (p *framePipe[T]) stalled() bool {
 	return p.firstErr() != nil || p.ctx.Err() != nil
 }
 
-func (p *framePipe[T]) worker() {
+func (p *framePipe[T]) worker(id int) {
 	defer p.wg.Done()
+	track := p.rec.Track("stream-w" + strconv.Itoa(id))
 	for j := range p.jobs {
 		var comp []byte
 		var err error
+		t := p.rec.Now()
 		if !p.stalled() { // after a failure or cancel, drain without compressing
 			comp, err = p.enc(j.vals)
 		}
+		if err == nil && comp != nil {
+			t = p.rec.StageSpanOutcome(obs.StageEncode, track, j.idx, t,
+				obs.OutcomeCompressed, int64(len(j.vals))*p.elem, int64(len(comp))+framePrefix)
+		}
 		p.pool.Put(j.vals[:0])
 		<-j.turn
+		t = p.rec.StageSpan(obs.StageCarryWait, track, j.idx, t)
 		if p.firstErr() == nil {
 			switch {
 			case p.ctx.Err() != nil:
@@ -106,6 +121,8 @@ func (p *framePipe[T]) worker() {
 			case comp != nil:
 				if werr := writeFrame(p.dst, comp); werr != nil {
 					p.fail(werr)
+				} else {
+					p.rec.StageSpan(obs.StageEmit, track, j.idx, t)
 				}
 			}
 		}
@@ -118,7 +135,8 @@ func (p *framePipe[T]) worker() {
 // order defines emission order via the chain.
 func (p *framePipe[T]) submit(vals []T) {
 	turn, done := p.chain.Link()
-	p.jobs <- frameJob[T]{vals: vals, turn: turn, done: done}
+	p.jobs <- frameJob[T]{vals: vals, idx: p.frames, turn: turn, done: done}
+	p.frames++
 }
 
 // close stops the workers and returns the pipeline's first error.
@@ -162,9 +180,9 @@ type streamWriter[T any] struct {
 	closed bool
 }
 
-func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, limit, workers int) {
+func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int) {
 	w.limit = limit
-	w.pipe = newFramePipe(dst, enc, ctx, limit, workers)
+	w.pipe = newFramePipe(dst, enc, ctx, rec, elem, limit, workers)
 }
 
 func (w *streamWriter[T]) write(vals []T) error {

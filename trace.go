@@ -1,0 +1,143 @@
+package pfpl
+
+// Public tracing surface. A Tracer records per-chunk stage spans (quantize,
+// delta, shuffle, encode, carry-wait, emit, decode) from whichever executor
+// runs the call, aggregates them into CompressStats, and exports the raw
+// spans as Chrome trace-event JSON viewable in Perfetto or chrome://tracing.
+// Tracing is strictly observational: the compressed bytes with a Tracer
+// attached are identical to the bytes without one (the conformance suite's
+// golden vectors pin the format; the obs layer never touches payload data).
+
+import (
+	"io"
+
+	"pfpl/internal/core"
+	"pfpl/internal/cpucomp"
+	"pfpl/internal/gpusim"
+	"pfpl/internal/obs"
+)
+
+// Tracer collects stage spans and aggregate statistics from a traced
+// compression or decompression call. A nil *Tracer is a valid no-op
+// everywhere one is accepted, and the nil fast path costs nothing on the
+// hot loops (pinned by the zero-allocation tests in internal/core).
+type Tracer = obs.Recorder
+
+// CompressStats is the aggregate view of a Tracer: span and unit counts,
+// bytes in and out, and per-stage time totals. It survives span-ring
+// wraparound — aggregates are updated on every Record, not derived from the
+// retained spans.
+type CompressStats = obs.Stats
+
+// NewTracer creates a Tracer retaining up to spanCapacity spans (oldest
+// dropped first). spanCapacity <= 0 keeps aggregates only, which is the
+// cheap mode for always-on stats without timeline export.
+func NewTracer(spanCapacity int) *Tracer { return obs.New(spanCapacity) }
+
+// WriteTrace exports everything t recorded as Chrome trace-event JSON: one
+// named track per executor lane (worker, simulated SM, stream worker), one
+// complete event per stage span. The output loads directly in Perfetto.
+func WriteTrace(w io.Writer, t *Tracer, process string) error {
+	return t.WriteChromeTrace(w, process)
+}
+
+// ChunkOutcomes reports, without decoding, how a compressed container's
+// chunks fared: the total chunk count, how many fell back to raw (lossless)
+// storage because quantization could not hold the bound, and the summed
+// payload bytes behind the chunk table. Checksummed streams are verified
+// first. It complements Stat, which stops at the header.
+func ChunkOutcomes(buf []byte) (chunks, rawChunks int, payloadBytes int64, err error) {
+	buf, err = core.VerifyAndStripChecksum(buf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	h, err := core.ParseHeader(buf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, lengths, raws, _, err := core.ChunkTable(buf, &h)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i, n := range lengths {
+		payloadBytes += int64(n)
+		if raws[i] {
+			rawChunks++
+		}
+	}
+	return h.NumChunks, rawChunks, payloadBytes, nil
+}
+
+// traceDevice is the optional Device extension: a device that can thread a
+// Tracer through its executor. All built-in devices implement it; a custom
+// Device that does not simply runs untraced.
+type traceDevice interface {
+	compress32Traced(src []float32, mode Mode, bound float64, rec *Tracer) ([]byte, error)
+	decompress32Traced(buf []byte, dst []float32, rec *Tracer) ([]float32, error)
+	compress64Traced(src []float64, mode Mode, bound float64, rec *Tracer) ([]byte, error)
+	decompress64Traced(buf []byte, dst []float64, rec *Tracer) ([]float64, error)
+}
+
+func (serialDevice) compress32Traced(src []float32, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return core.CompressSerial32Traced(src, mode, bound, rec)
+}
+
+func (serialDevice) decompress32Traced(buf []byte, dst []float32, rec *Tracer) ([]float32, error) {
+	return core.DecompressSerial32Traced(buf, dst, rec)
+}
+
+func (serialDevice) compress64Traced(src []float64, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return core.CompressSerial64Traced(src, mode, bound, rec)
+}
+
+func (serialDevice) decompress64Traced(buf []byte, dst []float64, rec *Tracer) ([]float64, error) {
+	return core.DecompressSerial64Traced(buf, dst, rec)
+}
+
+func (d cpuDevice) compress32Traced(src []float32, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return cpucomp.Compress32Traced(src, mode, bound, d.workers, rec)
+}
+
+func (d cpuDevice) decompress32Traced(buf []byte, dst []float32, rec *Tracer) ([]float32, error) {
+	return cpucomp.Decompress32Traced(buf, dst, d.workers, rec)
+}
+
+func (d cpuDevice) compress64Traced(src []float64, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return cpucomp.Compress64Traced(src, mode, bound, d.workers, rec)
+}
+
+func (d cpuDevice) decompress64Traced(buf []byte, dst []float64, rec *Tracer) ([]float64, error) {
+	return cpucomp.Decompress64Traced(buf, dst, d.workers, rec)
+}
+
+func (d *CPUPool) compress32Traced(src []float32, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return d.pool.Compress32Traced(src, mode, bound, rec)
+}
+
+func (d *CPUPool) decompress32Traced(buf []byte, dst []float32, rec *Tracer) ([]float32, error) {
+	return d.pool.Decompress32Traced(buf, dst, rec)
+}
+
+func (d *CPUPool) compress64Traced(src []float64, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return d.pool.Compress64Traced(src, mode, bound, rec)
+}
+
+func (d *CPUPool) decompress64Traced(buf []byte, dst []float64, rec *Tracer) ([]float64, error) {
+	return d.pool.Decompress64Traced(buf, dst, rec)
+}
+
+func (d gpuDevice) compress32Traced(src []float32, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return gpusim.Compress32Traced(d.model, src, mode, bound, rec)
+}
+
+func (d gpuDevice) decompress32Traced(buf []byte, dst []float32, rec *Tracer) ([]float32, error) {
+	return gpusim.Decompress32Traced(d.model, buf, dst, rec)
+}
+
+func (d gpuDevice) compress64Traced(src []float64, mode Mode, bound float64, rec *Tracer) ([]byte, error) {
+	return gpusim.Compress64Traced(d.model, src, mode, bound, rec)
+}
+
+func (d gpuDevice) decompress64Traced(buf []byte, dst []float64, rec *Tracer) ([]float64, error) {
+	return gpusim.Decompress64Traced(d.model, buf, dst, rec)
+}

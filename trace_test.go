@@ -1,0 +1,193 @@
+package pfpl
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"pfpl/internal/obs"
+)
+
+func traceTestData() []float32 {
+	// Two chunks of smooth data plus an incompressible tail: huge random
+	// exponents overflow the quantization range, forcing the raw fallback.
+	n := 2*4096 + 500
+	src := make([]float32, n)
+	state := uint32(7)
+	for i := range src {
+		if i < 2*4096 {
+			src[i] = float32(math.Sin(float64(i) / 30))
+		} else {
+			state = state*1664525 + 1013904223
+			src[i] = math.Float32frombits(state&0x807FFFFF | (200+state>>24%54)<<23)
+		}
+	}
+	return src
+}
+
+// TestTraceIdenticalBytesAllDevices pins the central property of the
+// tracing layer: attaching a Tracer never changes the compressed bytes, on
+// any built-in device.
+func TestTraceIdenticalBytesAllDevices(t *testing.T) {
+	src := traceTestData()
+	pool := NewCPUPool(2)
+	defer pool.Close()
+	devices := []Device{Serial(), CPU(2), pool, GPU(RTX4090)}
+	base, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range devices {
+		rec := NewTracer(1 << 14)
+		comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3, Device: dev, Trace: rec})
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if !bytes.Equal(comp, base) {
+			t.Fatalf("%s: tracing changed the compressed bytes", dev.Name())
+		}
+		s := rec.Stats()
+		if s.Units == 0 || s.RawUnits == 0 {
+			t.Fatalf("%s: stats = %+v, want units and raw units recorded", dev.Name(), s)
+		}
+		if s.StageSpans[obs.StageEncode] != s.Units {
+			t.Fatalf("%s: %d encode spans for %d units", dev.Name(), s.StageSpans[obs.StageEncode], s.Units)
+		}
+
+		// Traced decompression must round-trip and record decode spans.
+		rec2 := NewTracer(1 << 14)
+		vals, err := Decompress32(comp, nil, Options{Device: dev, Trace: rec2})
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if len(vals) != len(src) {
+			t.Fatalf("%s: decoded %d values, want %d", dev.Name(), len(vals), len(src))
+		}
+		if rec2.Stats().StageSpans[obs.StageDecode] == 0 {
+			t.Fatalf("%s: no decode spans recorded", dev.Name())
+		}
+	}
+}
+
+func TestWriteTraceChromeJSON(t *testing.T) {
+	src := traceTestData()
+	rec := NewTracer(1 << 14)
+	if _, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3, Device: Serial(), Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec, "pfpl test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if want := int(rec.Stats().Spans); slices != want {
+		t.Fatalf("trace has %d slices, want %d recorded spans", slices, want)
+	}
+}
+
+func TestChunkOutcomes(t *testing.T) {
+	src := traceTestData()
+	for _, checksum := range []bool{false, true} {
+		comp, err := Compress32(src, Options{Mode: ABS, Bound: 1e-3, Checksum: checksum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks, raws, payload, err := ChunkOutcomes(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := Stat(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunks != info.Chunks {
+			t.Fatalf("chunks = %d, want %d", chunks, info.Chunks)
+		}
+		if raws == 0 || raws >= chunks {
+			t.Fatalf("raw chunks = %d of %d, want a strict mix", raws, chunks)
+		}
+		if payload <= 0 || payload >= int64(len(comp)) {
+			t.Fatalf("payload bytes = %d, want within (0, %d)", payload, len(comp))
+		}
+	}
+	if _, _, _, err := ChunkOutcomes([]byte("not a stream")); err == nil {
+		t.Fatal("corrupt input accepted")
+	}
+}
+
+func TestStreamWriterStatsAndTrace(t *testing.T) {
+	src := traceTestData()
+	rec := NewTracer(1 << 14)
+	var buf bytes.Buffer
+	w, err := NewWriter32(&buf, Options{Mode: ABS, Bound: 1e-3},
+		StreamOptions{FrameValues: 2048, Concurrency: 3, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := int64((len(src) + 2047) / 2048)
+	s := w.Stats()
+	if s.Units != wantFrames {
+		t.Fatalf("stats units = %d, want %d frames", s.Units, wantFrames)
+	}
+	if s.BytesIn != int64(len(src)*4) {
+		t.Fatalf("bytes in = %d, want %d", s.BytesIn, len(src)*4)
+	}
+	if s.BytesOut != int64(buf.Len()) {
+		t.Fatalf("bytes out = %d, want the emitted stream length %d", s.BytesOut, buf.Len())
+	}
+	for _, st := range []obs.Stage{obs.StageEncode, obs.StageCarryWait, obs.StageEmit} {
+		if got := s.StageSpans[st]; got != wantFrames {
+			t.Fatalf("stage %v spans = %d, want %d", st, got, wantFrames)
+		}
+	}
+	// At least one pipeline worker lane must have registered a track.
+	var sawWorker bool
+	for _, name := range rec.TrackNames() {
+		if strings.HasPrefix(name, "stream-w") {
+			sawWorker = true
+		}
+	}
+	if !sawWorker {
+		t.Fatalf("no stream worker tracks in %v", rec.TrackNames())
+	}
+
+	// Untraced writers still aggregate stats.
+	var buf2 bytes.Buffer
+	w2, err := NewWriter32(&buf2, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Stats().Units; got != wantFrames {
+		t.Fatalf("default-recorder units = %d, want %d", got, wantFrames)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("tracing changed the streamed bytes")
+	}
+}
