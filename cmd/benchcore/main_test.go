@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunEmitsValidReport runs the whole harness at a tiny budget and
+// checks the JSON schema: every stage has a fast and a ref entry, every
+// measurement reports positive throughput, and the zero-elim speedups are
+// present (the acceptance numbers the optimized kernels are pinned to).
+func TestRunEmitsValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement pass skipped in short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(2*time.Millisecond, out); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Stages) == 0 || len(rep.Executors) == 0 || len(rep.Speedups) == 0 {
+		t.Fatalf("empty report sections: %d stages, %d executors, %d speedups",
+			len(rep.Stages), len(rep.Executors), len(rep.Speedups))
+	}
+	impls := map[string]map[string]bool{}
+	for _, r := range rep.Stages {
+		if !(r.GBPerS > 0) || !(r.NsPerOp > 0) || r.BytesPerOp <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", r.Name, r)
+		}
+		if impls[r.Stage] == nil {
+			impls[r.Stage] = map[string]bool{}
+		}
+		impls[r.Stage][r.Impl] = true
+	}
+	for _, stage := range []string{"delta", "shuffle", "zeroelim"} {
+		if !impls[stage]["fast"] || !impls[stage]["ref"] {
+			t.Errorf("stage %q missing fast or ref entries: %v", stage, impls[stage])
+		}
+	}
+	sawZeroElim := false
+	for _, s := range rep.Speedups {
+		if s.FastOverRef <= 0 {
+			t.Errorf("speedup %s is non-positive: %g", s.Name, s.FastOverRef)
+		}
+		if s.Name == "zero_elim_encode/32/shuffled-smooth" {
+			sawZeroElim = true
+		}
+	}
+	if !sawZeroElim {
+		t.Error("zero-elim encode speedup entry missing")
+	}
+	for _, r := range rep.Executors {
+		if !(r.GBPerS > 0) {
+			t.Errorf("%s: non-positive throughput", r.Name)
+		}
+	}
+}

@@ -68,29 +68,99 @@ func UnZigZag64(x uint64) int64 {
 // involution: applying it twice restores the input.
 //
 // This is PFPL's warp-granularity bit shuffle: on the GPU each warp of 32
-// threads performs the same exchange with warp shuffle instructions.
+// threads performs the same exchange with warp shuffle instructions
+// (gpusim.TransposeWarpShuffle32 models it lane by lane). Here the five
+// butterfly steps are unrolled with constant shift counts and masks so each
+// block swap compiles to straight shift/mask arithmetic with no
+// loop-carried mask updates; internal/core/ref.Transpose32 keeps the
+// generic shift-loop form as the reference.
 func Transpose32(a *[32]uint32) {
-	m := uint32(0x0000FFFF)
-	for j := 16; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
-		for k := 0; k < 32; k = (k + j + 1) &^ j {
-			// Swap the top-right block (high bits of the low rows) with the
-			// bottom-left block (low bits of the high rows).
-			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
-			a[k] ^= t << uint(j)
-			a[k+j] ^= t
+	// Step 1, j=16: swap the 16x16 off-diagonal blocks.
+	for k := 0; k < 16; k++ {
+		t := ((a[k] >> 16) ^ a[k+16]) & 0x0000FFFF
+		a[k] ^= t << 16
+		a[k+16] ^= t
+	}
+	// Step 2, j=8: two independent 16-row halves.
+	for b := 0; b < 32; b += 16 {
+		for k := b; k < b+8; k++ {
+			t := ((a[k] >> 8) ^ a[k+8]) & 0x00FF00FF
+			a[k] ^= t << 8
+			a[k+8] ^= t
 		}
+	}
+	// Step 3, j=4.
+	for b := 0; b < 32; b += 8 {
+		for k := b; k < b+4; k++ {
+			t := ((a[k] >> 4) ^ a[k+4]) & 0x0F0F0F0F
+			a[k] ^= t << 4
+			a[k+4] ^= t
+		}
+	}
+	// Step 4, j=2.
+	for b := 0; b < 32; b += 4 {
+		t := ((a[b] >> 2) ^ a[b+2]) & 0x33333333
+		a[b] ^= t << 2
+		a[b+2] ^= t
+		t = ((a[b+1] >> 2) ^ a[b+3]) & 0x33333333
+		a[b+1] ^= t << 2
+		a[b+3] ^= t
+	}
+	// Step 5, j=1: adjacent row pairs.
+	for k := 0; k < 32; k += 2 {
+		t := ((a[k] >> 1) ^ a[k+1]) & 0x55555555
+		a[k] ^= t << 1
+		a[k+1] ^= t
 	}
 }
 
 // Transpose64 transposes the 64x64 bit matrix held in a, the double-precision
-// counterpart of Transpose32. It is likewise an involution.
+// counterpart of Transpose32 (six unrolled butterfly steps). It is likewise
+// an involution.
 func Transpose64(a *[64]uint64) {
-	m := uint64(0x00000000FFFFFFFF)
-	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
-		for k := 0; k < 64; k = (k + j + 1) &^ j {
-			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
-			a[k] ^= t << uint(j)
-			a[k+j] ^= t
+	// Step 1, j=32.
+	for k := 0; k < 32; k++ {
+		t := ((a[k] >> 32) ^ a[k+32]) & 0x00000000FFFFFFFF
+		a[k] ^= t << 32
+		a[k+32] ^= t
+	}
+	// Step 2, j=16.
+	for b := 0; b < 64; b += 32 {
+		for k := b; k < b+16; k++ {
+			t := ((a[k] >> 16) ^ a[k+16]) & 0x0000FFFF0000FFFF
+			a[k] ^= t << 16
+			a[k+16] ^= t
 		}
+	}
+	// Step 3, j=8.
+	for b := 0; b < 64; b += 16 {
+		for k := b; k < b+8; k++ {
+			t := ((a[k] >> 8) ^ a[k+8]) & 0x00FF00FF00FF00FF
+			a[k] ^= t << 8
+			a[k+8] ^= t
+		}
+	}
+	// Step 4, j=4.
+	for b := 0; b < 64; b += 8 {
+		for k := b; k < b+4; k++ {
+			t := ((a[k] >> 4) ^ a[k+4]) & 0x0F0F0F0F0F0F0F0F
+			a[k] ^= t << 4
+			a[k+4] ^= t
+		}
+	}
+	// Step 5, j=2.
+	for b := 0; b < 64; b += 4 {
+		t := ((a[b] >> 2) ^ a[b+2]) & 0x3333333333333333
+		a[b] ^= t << 2
+		a[b+2] ^= t
+		t = ((a[b+1] >> 2) ^ a[b+3]) & 0x3333333333333333
+		a[b+1] ^= t << 2
+		a[b+3] ^= t
+	}
+	// Step 6, j=1.
+	for k := 0; k < 64; k += 2 {
+		t := ((a[k] >> 1) ^ a[k+1]) & 0x5555555555555555
+		a[k] ^= t << 1
+		a[k+1] ^= t
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 	"testing"
+
+	"pfpl/internal/core/ref"
 )
 
 func benchWords(n int) []uint32 {
@@ -12,6 +14,28 @@ func benchWords(n int) []uint32 {
 		out[i] = uint32(1000 + 30*math.Sin(float64(i)*0.01))
 	}
 	return out
+}
+
+func benchWords64(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(100000 + 3000*math.Sin(float64(i)*0.01))
+	}
+	return out
+}
+
+// benchShuffled32 runs the upstream stages so the zero-elim benchmarks see
+// the byte distribution of a real smooth chunk.
+func benchShuffled32(b *testing.B) []byte {
+	b.Helper()
+	words := benchWords(ChunkWords32)
+	DeltaNegaForward32(words)
+	BitShuffle32(words)
+	data := make([]byte, ChunkBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(data[i*4:], w)
+	}
+	return data
 }
 
 func BenchmarkQuantizeABS32(b *testing.B) {
@@ -60,18 +84,105 @@ func BenchmarkStageBitShuffle32(b *testing.B) {
 	}
 }
 
-func BenchmarkStageZeroElim32(b *testing.B) {
+func BenchmarkStageDeltaNega32Ref(b *testing.B) {
+	words := benchWords(ChunkWords32)
+	buf := make([]uint32, len(words))
+	b.SetBytes(int64(len(words) * 4))
+	for i := 0; i < b.N; i++ {
+		copy(buf, words)
+		ref.DeltaNegaForward32(buf)
+	}
+}
+
+func BenchmarkStageDeltaNegaInverse32(b *testing.B) {
 	words := benchWords(ChunkWords32)
 	DeltaNegaForward32(words)
-	BitShuffle32(words)
-	data := make([]byte, ChunkBytes)
-	for i, w := range words {
-		binary.LittleEndian.PutUint32(data[i*4:], w)
+	buf := make([]uint32, len(words))
+	b.SetBytes(int64(len(words) * 4))
+	for i := 0; i < b.N; i++ {
+		copy(buf, words)
+		DeltaNegaInverse32(buf)
 	}
+}
+
+func BenchmarkStageDeltaNega64(b *testing.B) {
+	words := benchWords64(ChunkWords64)
+	buf := make([]uint64, len(words))
+	b.SetBytes(int64(len(words) * 8))
+	for i := 0; i < b.N; i++ {
+		copy(buf, words)
+		DeltaNegaForward64(buf)
+	}
+}
+
+func BenchmarkStageDeltaNegaInverse64(b *testing.B) {
+	words := benchWords64(ChunkWords64)
+	DeltaNegaForward64(words)
+	buf := make([]uint64, len(words))
+	b.SetBytes(int64(len(words) * 8))
+	for i := 0; i < b.N; i++ {
+		copy(buf, words)
+		DeltaNegaInverse64(buf)
+	}
+}
+
+func BenchmarkStageBitShuffle32Ref(b *testing.B) {
+	words := benchWords(ChunkWords32)
+	b.SetBytes(int64(len(words) * 4))
+	for i := 0; i < b.N; i++ {
+		ref.BitShuffle32(words)
+	}
+}
+
+func BenchmarkStageBitShuffle64(b *testing.B) {
+	words := benchWords64(ChunkWords64)
+	b.SetBytes(int64(len(words) * 8))
+	for i := 0; i < b.N; i++ {
+		BitShuffle64(words)
+	}
+}
+
+func BenchmarkStageZeroElim32(b *testing.B) {
+	data := benchShuffled32(b)
+	var s ZeroElimScratch
 	out := make([]byte, 0, MaxChunkPayload)
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
-		out = ZeroElimEncode(data, out[:0])
+		out = ZeroElimEncodeScratch(data, out[:0], &s)
+	}
+}
+
+func BenchmarkStageZeroElim32Ref(b *testing.B) {
+	data := benchShuffled32(b)
+	out := make([]byte, 0, MaxChunkPayload)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		out = ref.ZeroElimEncode(data, out[:0])
+	}
+}
+
+func BenchmarkStageZeroElimDecode32(b *testing.B) {
+	data := benchShuffled32(b)
+	var s ZeroElimScratch
+	enc := ZeroElimEncodeScratch(data, nil, &s)
+	dst := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ZeroElimDecodeScratch(enc, dst, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStageZeroElimDecode32Ref(b *testing.B) {
+	data := benchShuffled32(b)
+	enc := ref.ZeroElimEncode(data, nil)
+	dst := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.ZeroElimDecode(enc, dst); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -56,6 +56,104 @@ func TestDecodeChunkNoTraceZeroAllocs(t *testing.T) {
 	}
 }
 
+func noTraceInput64() []float64 {
+	src := make([]float64, ChunkWords64)
+	for i := range src {
+		src[i] = math.Sin(float64(i) / 50)
+	}
+	return src
+}
+
+func TestEncodeChunk64NoTraceZeroAllocs(t *testing.T) {
+	src := noTraceInput64()
+	p, err := NewParams(ABS, 1e-3, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch64
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _ = EncodeChunk64(&p, src, &s); false {
+			t.Fail()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeChunk64 with nil recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestDecodeChunk64NoTraceZeroAllocs(t *testing.T) {
+	src := noTraceInput64()
+	p, err := NewParams(ABS, 1e-3, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch64
+	payload, raw := EncodeChunk64(&p, src, &s)
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	dst := make([]float64, len(src))
+	var sd Scratch64
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeChunk64(&p, pl, raw, dst, &sd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeChunk64 with nil recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// The word-parallel zero-elimination scratch codecs are on the traced-off
+// hot path of every executor; neither direction may allocate.
+func TestZeroElimScratchNoTraceZeroAllocs(t *testing.T) {
+	if !FastKernels() {
+		t.Skip("reference kernels forced via environment; only the fast path is allocation-free")
+	}
+	data := make([]byte, ChunkBytes)
+	for i := 0; i < len(data); i += 7 {
+		data[i] = byte(i)
+	}
+	var s ZeroElimScratch
+	out := make([]byte, 0, MaxChunkPayload)
+	enc := ZeroElimEncodeScratch(data, out[:0], &s)
+	encCopy := make([]byte, len(enc))
+	copy(encCopy, enc)
+	dst := make([]byte, len(data))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		out = ZeroElimEncodeScratch(data, out[:0], &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("ZeroElimEncodeScratch allocated %.1f times per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := ZeroElimDecodeScratch(encCopy, dst, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ZeroElimDecodeScratch allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// The word-parallel in-place word kernels must not allocate either — they
+// run inside the zero-alloc chunk codecs.
+func TestWordKernelsZeroAllocs(t *testing.T) {
+	w32 := make([]uint32, ChunkWords32)
+	w64 := make([]uint64, ChunkWords64)
+	allocs := testing.AllocsPerRun(100, func() {
+		DeltaNegaForward32(w32)
+		DeltaNegaInverse32(w32)
+		BitShuffle32(w32)
+		DeltaNegaForward64(w64)
+		DeltaNegaInverse64(w64)
+		BitShuffle64(w64)
+	})
+	if allocs != 0 {
+		t.Fatalf("word kernels allocated %.1f times per op, want 0", allocs)
+	}
+}
+
 func BenchmarkCompressNoTrace(b *testing.B) {
 	src := noTraceInput32()
 	p, err := NewParams(ABS, 1e-3, 0, false)

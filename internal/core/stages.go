@@ -1,8 +1,38 @@
 package core
 
 import (
+	"encoding/binary"
+	mbits "math/bits"
+	"os"
+	"sync/atomic"
+
 	"pfpl/internal/bits"
+	"pfpl/internal/core/ref"
 )
+
+// The lossless stages below each exist twice: the word-parallel fast path in
+// this file and the scalar reference in internal/core/ref. Both produce
+// bit-identical output — the differential suite (ref_test.go) and the
+// FuzzZeroElimFastPath / FuzzDeltaNegaRoundtrip fuzzers pin that equality —
+// and the selection happens at runtime so a suspected fast-path bug can be
+// isolated in the field without a rebuild.
+//
+// fastKernels defaults to true; PFPL_REF_KERNELS=1 in the environment (or
+// SetFastKernels) routes every stage through the reference.
+var fastKernels atomic.Bool
+
+func init() {
+	fastKernels.Store(os.Getenv("PFPL_REF_KERNELS") == "")
+}
+
+// SetFastKernels enables or disables the word-parallel kernels at runtime,
+// returning the previous setting. The toggle is safe to flip concurrently,
+// but a compression in flight may mix implementations across stages — the
+// output is identical either way, so that is benign.
+func SetFastKernels(on bool) bool { return fastKernels.Swap(on) }
+
+// FastKernels reports whether the word-parallel kernels are selected.
+func FastKernels() bool { return fastKernels.Load() }
 
 // Stage 1: difference coding with negabinary residuals (paper §III.D,
 // Fig. 3). Each word is replaced by itself minus its predecessor (wrapping
@@ -12,8 +42,36 @@ import (
 
 // DeltaNegaForward32 transforms a in place.
 func DeltaNegaForward32(a []uint32) {
+	if !fastKernels.Load() {
+		ref.DeltaNegaForward32(a)
+		return
+	}
+	deltaNegaForward32(a)
+}
+
+// deltaNegaForward32 is the word-parallel fast path. The forward transform
+// has no loop-carried dependence — residual i needs only the loaded words i
+// and i-1 — so an eight-wide stride lets all eight subtract+negabinary
+// conversions retire independently instead of serializing on the previous
+// iteration's store.
+func deltaNegaForward32(a []uint32) {
 	prev := uint32(0)
-	for i, w := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		w0, w1, w2, w3 := a[i], a[i+1], a[i+2], a[i+3]
+		w4, w5, w6, w7 := a[i+4], a[i+5], a[i+6], a[i+7]
+		a[i] = bits.ToNegabinary32(w0 - prev)
+		a[i+1] = bits.ToNegabinary32(w1 - w0)
+		a[i+2] = bits.ToNegabinary32(w2 - w1)
+		a[i+3] = bits.ToNegabinary32(w3 - w2)
+		a[i+4] = bits.ToNegabinary32(w4 - w3)
+		a[i+5] = bits.ToNegabinary32(w5 - w4)
+		a[i+6] = bits.ToNegabinary32(w6 - w5)
+		a[i+7] = bits.ToNegabinary32(w7 - w6)
+		prev = w7
+	}
+	for ; i < len(a); i++ {
+		w := a[i]
 		a[i] = bits.ToNegabinary32(w - prev)
 		prev = w
 	}
@@ -21,17 +79,65 @@ func DeltaNegaForward32(a []uint32) {
 
 // DeltaNegaInverse32 inverts DeltaNegaForward32 in place.
 func DeltaNegaInverse32(a []uint32) {
+	if !fastKernels.Load() {
+		ref.DeltaNegaInverse32(a)
+		return
+	}
+	deltaNegaInverse32(a)
+}
+
+// deltaNegaInverse32 is the fast path. The inverse is a prefix sum, so the
+// running total is inherently serial — but the four negabinary decodes and
+// the partial-sum tree are not, leaving one add on the carried chain per
+// four elements instead of four.
+func deltaNegaInverse32(a []uint32) {
 	prev := uint32(0)
-	for i, w := range a {
-		prev += bits.FromNegabinary32(w)
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := bits.FromNegabinary32(a[i])
+		d1 := bits.FromNegabinary32(a[i+1])
+		d2 := bits.FromNegabinary32(a[i+2])
+		d3 := bits.FromNegabinary32(a[i+3])
+		s01 := d0 + d1
+		a[i] = prev + d0
+		a[i+1] = prev + s01
+		a[i+2] = prev + s01 + d2
+		prev += s01 + d2 + d3
+		a[i+3] = prev
+	}
+	for ; i < len(a); i++ {
+		prev += bits.FromNegabinary32(a[i])
 		a[i] = prev
 	}
 }
 
 // DeltaNegaForward64 transforms a in place (64-bit word size).
 func DeltaNegaForward64(a []uint64) {
+	if !fastKernels.Load() {
+		ref.DeltaNegaForward64(a)
+		return
+	}
+	deltaNegaForward64(a)
+}
+
+func deltaNegaForward64(a []uint64) {
 	prev := uint64(0)
-	for i, w := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		w0, w1, w2, w3 := a[i], a[i+1], a[i+2], a[i+3]
+		w4, w5, w6, w7 := a[i+4], a[i+5], a[i+6], a[i+7]
+		a[i] = bits.ToNegabinary64(w0 - prev)
+		a[i+1] = bits.ToNegabinary64(w1 - w0)
+		a[i+2] = bits.ToNegabinary64(w2 - w1)
+		a[i+3] = bits.ToNegabinary64(w3 - w2)
+		a[i+4] = bits.ToNegabinary64(w4 - w3)
+		a[i+5] = bits.ToNegabinary64(w5 - w4)
+		a[i+6] = bits.ToNegabinary64(w6 - w5)
+		a[i+7] = bits.ToNegabinary64(w7 - w6)
+		prev = w7
+	}
+	for ; i < len(a); i++ {
+		w := a[i]
 		a[i] = bits.ToNegabinary64(w - prev)
 		prev = w
 	}
@@ -39,9 +145,30 @@ func DeltaNegaForward64(a []uint64) {
 
 // DeltaNegaInverse64 inverts DeltaNegaForward64 in place.
 func DeltaNegaInverse64(a []uint64) {
+	if !fastKernels.Load() {
+		ref.DeltaNegaInverse64(a)
+		return
+	}
+	deltaNegaInverse64(a)
+}
+
+func deltaNegaInverse64(a []uint64) {
 	prev := uint64(0)
-	for i, w := range a {
-		prev += bits.FromNegabinary64(w)
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := bits.FromNegabinary64(a[i])
+		d1 := bits.FromNegabinary64(a[i+1])
+		d2 := bits.FromNegabinary64(a[i+2])
+		d3 := bits.FromNegabinary64(a[i+3])
+		s01 := d0 + d1
+		a[i] = prev + d0
+		a[i+1] = prev + s01
+		a[i+2] = prev + s01 + d2
+		prev += s01 + d2 + d3
+		a[i+3] = prev
+	}
+	for ; i < len(a); i++ {
+		prev += bits.FromNegabinary64(a[i])
 		a[i] = prev
 	}
 }
@@ -56,6 +183,10 @@ func DeltaNegaInverse64(a []uint64) {
 // BitShuffle32 transposes each 32-word group of a in place. It is an
 // involution, so it also serves as the inverse transform.
 func BitShuffle32(a []uint32) {
+	if !fastKernels.Load() {
+		ref.BitShuffle32(a)
+		return
+	}
 	for i := 0; i+32 <= len(a); i += 32 {
 		bits.Transpose32((*[32]uint32)(a[i : i+32]))
 	}
@@ -63,6 +194,10 @@ func BitShuffle32(a []uint32) {
 
 // BitShuffle64 transposes each 64-word group of a in place (involution).
 func BitShuffle64(a []uint64) {
+	if !fastKernels.Load() {
+		ref.BitShuffle64(a)
+		return
+	}
 	for i := 0; i+64 <= len(a); i += 64 {
 		bits.Transpose64((*[64]uint64)(a[i : i+64]))
 	}
@@ -79,11 +214,40 @@ const bitmapLevels = 4
 // the GPU-simulator kernels which must reproduce the identical layout.
 const BitmapLevels = bitmapLevels
 
+// The layout constants shared with the scalar reference must agree; a drift
+// in either direction fails to compile.
+var _ [1]struct{} = [1 + bitmapLevels - ref.BitmapLevels]struct{}{}
+var _ [1]struct{} = [1 + ref.BitmapLevels - bitmapLevels]struct{}{}
+
 // bitmapLen returns the number of bitmap bytes covering n payload bytes.
 func bitmapLen(n int) int { return (n + 7) / 8 }
 
 // BitmapLen is the exported form of bitmapLen.
 func BitmapLen(n int) int { return bitmapLen(n) }
+
+// SWAR constants for the byte-granular kernels: every lane trick below
+// treats a uint64 as eight byte lanes.
+const (
+	swarLow7   = 0x7F7F7F7F7F7F7F7F // low seven bits of every lane
+	swarHigh   = 0x8080808080808080 // the per-lane high bit
+	swarGather = 0x0002040810204081 // bits at 7k, k=0..7: movemask multiplier
+)
+
+// nonzeroByteMask returns a byte whose bit i is set iff byte lane i of w is
+// nonzero. Two classic tricks back to back:
+//
+//   - Exact zero-lane detection: ((w & 0x7F7F…) + 0x7F7F…) | w has the high
+//     bit of lane i set iff lane i is nonzero. Unlike the cheaper
+//     (w-0x0101…)&^w&0x8080… form this has no false positives from borrow
+//     propagation — per-lane sums cannot carry (0x7F+0x7F < 0x100).
+//   - Movemask by multiply: with the flags isolated at bit 8i+7, multiplying
+//     by 0x0002040810204081 (bits at 7k) slides flag i to bit 56+i and no
+//     two partial products collide, so the top byte is the gathered mask —
+//     the SWAR analog of the GPU's __ballot_sync vote.
+func nonzeroByteMask(w uint64) byte {
+	nz := (((w & swarLow7) + swarLow7) | w) & swarHigh
+	return byte((nz * swarGather) >> 56)
+}
 
 // ZeroElimEncode appends the encoded form of data to out and returns the
 // extended slice. Layout, outermost level first:
@@ -93,19 +257,23 @@ func BitmapLen(n int) int { return bitmapLen(n) }
 // where bm[1] is the zero-byte bitmap of data and bm[k+1] is the
 // repeat-byte bitmap of bm[k].
 func ZeroElimEncode(data []byte, out []byte) []byte {
-	// Build the level-1 bitmap: bit i of bm[i/8] set iff data[i] != 0.
+	if !fastKernels.Load() {
+		return ref.ZeroElimEncode(data, out)
+	}
 	bms := make([][]byte, bitmapLevels+1)
 	bms[1] = buildZeroBitmap(data)
 	for level := 2; level <= bitmapLevels; level++ {
 		bms[level] = buildRepeatBitmap(bms[level-1])
 	}
-	// Emit the outermost bitmap raw.
+	// Emit the outermost bitmap raw, then the surviving bytes of each inner
+	// level selected by the bitmap one level up (bit i of bm[k+1] is set
+	// exactly when byte i of bm[k] is non-repeating), and finally the
+	// nonzero payload bytes selected by bm[1].
 	out = append(out, bms[bitmapLevels]...)
-	// Emit the non-repeating bytes of each inner bitmap.
 	for level := bitmapLevels - 1; level >= 1; level-- {
-		out = appendNonRepeat(out, bms[level])
+		out = appendSelected(out, bms[level], bms[level+1])
 	}
-	return appendNonZero(out, data, bms[1])
+	return appendSelected(out, data, bms[1])
 }
 
 // bitmapScratch preallocates the four bitmap levels for a full chunk
@@ -121,10 +289,32 @@ type bitmapScratch struct {
 var _ [1]struct{} = [bitmapLevels - 3]struct{}{} // bitmapLevels >= 4
 var _ [1]struct{} = [5 - bitmapLevels]struct{}{} // bitmapLevels <= 4
 
+// ZeroElimScratch exposes the per-chunk bitmap scratch so external callers
+// (cmd/benchcore, executor kernels) can drive the zero-elimination stage
+// allocation-free. data must not exceed ChunkBytes.
+type ZeroElimScratch struct{ bms bitmapScratch }
+
+// ZeroElimEncodeScratch is ZeroElimEncode with the bitmap levels built in
+// caller-owned scratch; len(data) must not exceed ChunkBytes.
+func ZeroElimEncodeScratch(data []byte, out []byte, s *ZeroElimScratch) []byte {
+	return zeroElimEncodeScratch(data, out, &s.bms)
+}
+
+// ZeroElimDecodeScratch is ZeroElimDecode with the bitmap levels expanded
+// into caller-owned scratch; len(dst) must not exceed ChunkBytes.
+func ZeroElimDecodeScratch(src []byte, dst []byte, s *ZeroElimScratch) (int, error) {
+	return zeroElimDecodeScratch(src, dst, &s.bms)
+}
+
 // zeroElimEncodeScratch is ZeroElimEncode with the bitmap levels built in
 // caller-owned scratch instead of fresh allocations — the variant the fused
-// chunk encoder uses so its hot path stays allocation-free.
+// chunk encoder uses so its hot path stays allocation-free. (The reference
+// fallback allocates its bitmap levels; only the fast path is pinned by the
+// zero-alloc guards.)
 func zeroElimEncodeScratch(data []byte, out []byte, bs *bitmapScratch) []byte {
+	if !fastKernels.Load() {
+		return ref.ZeroElimEncode(data, out)
+	}
 	bm1 := bs.bm1[:bitmapLen(len(data))]
 	buildZeroBitmapInto(data, bm1)
 	bm2 := bs.bm2[:bitmapLen(len(bm1))]
@@ -134,33 +324,44 @@ func zeroElimEncodeScratch(data []byte, out []byte, bs *bitmapScratch) []byte {
 	bm4 := bs.bm4[:bitmapLen(len(bm3))]
 	buildRepeatBitmapInto(bm3, bm4)
 	out = append(out, bm4...)
-	out = appendNonRepeat(out, bm3)
-	out = appendNonRepeat(out, bm2)
-	out = appendNonRepeat(out, bm1)
-	return appendNonZero(out, data, bm1)
+	out = appendSelected(out, bm3, bm4)
+	out = appendSelected(out, bm2, bm3)
+	out = appendSelected(out, bm1, bm2)
+	return appendSelected(out, data, bm1)
 }
 
-// appendNonZero appends the nonzero bytes of data — per its level-1 bitmap
-// bm1 — to out, whole groups at a time where the bitmap says all eight
-// survive.
-func appendNonZero(out []byte, data []byte, bm1 []byte) []byte {
-	for j, x := range bm1 {
-		base := j * 8
-		switch x {
+// appendSelected appends the bytes of data whose bit is set in sel — the
+// byte's own bitmap one level up — to out. It replaces the seed's
+// appendNonZero/appendNonRepeat byte walks: a 64-bit selector word covers 64
+// data bytes at once, so all-zero words (the common case on shuffled
+// residuals) skip in one compare, all-ones words become a single copy, and
+// mixed words extract each survivor with a TrailingZeros64 instead of
+// probing all 64 bit positions.
+func appendSelected(out []byte, data []byte, sel []byte) []byte {
+	n := len(data)
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		s := binary.LittleEndian.Uint64(sel[i>>3:])
+		switch s {
 		case 0:
-		case 0xFF:
-			end := base + 8
-			if end > len(data) {
-				end = len(data)
-			}
-			out = append(out, data[base:end]...)
+		case ^uint64(0):
+			out = append(out, data[i:i+64]...)
 		default:
-			for bit := 0; bit < 8; bit++ {
-				i := base + bit
-				if i < len(data) && x&(1<<uint(bit)) != 0 {
-					out = append(out, data[i])
-				}
+			for m := s; m != 0; m &= m - 1 {
+				out = append(out, data[i+mbits.TrailingZeros64(m)])
 			}
+		}
+	}
+	// Tail: per selector byte. Bits beyond len(data) are never set by the
+	// bitmap builders, so the bit loop needs no per-byte length guard.
+	for ; i < n; i += 8 {
+		x := sel[i>>3]
+		if x == 0xFF && i+8 <= n {
+			out = append(out, data[i:i+8]...)
+			continue
+		}
+		for m := uint(x); m != 0; m &= m - 1 {
+			out = append(out, data[i+mbits.TrailingZeros(m)])
 		}
 	}
 	return out
@@ -169,6 +370,13 @@ func appendNonZero(out []byte, data []byte, bm1 []byte) []byte {
 // ZeroElimDecode decodes n payload bytes from src into dst (len(dst) == n)
 // and returns the number of bytes of src consumed.
 func ZeroElimDecode(src []byte, dst []byte) (int, error) {
+	if !fastKernels.Load() {
+		used, err := ref.ZeroElimDecode(src, dst)
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		return used, nil
+	}
 	n := len(dst)
 	// Compute the bitmap sizes bottom-up, then decode top-down.
 	sizes := make([]int, bitmapLevels+1)
@@ -206,6 +414,13 @@ func ZeroElimDecode(src []byte, dst []byte) (int, error) {
 // into caller-owned scratch — the variant the fused chunk decoder uses so
 // its hot path stays allocation-free.
 func zeroElimDecodeScratch(src []byte, dst []byte, bs *bitmapScratch) (int, error) {
+	if !fastKernels.Load() {
+		used, err := ref.ZeroElimDecode(src, dst)
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		return used, nil
+	}
 	var sizes [bitmapLevels + 1]int
 	sizes[0] = len(dst)
 	for level := 1; level <= bitmapLevels; level++ {
@@ -235,10 +450,10 @@ func zeroElimDecodeScratch(src []byte, dst []byte, bs *bitmapScratch) (int, erro
 }
 
 // buildZeroBitmap returns a bitmap with bit i set iff data[i] != 0. The hot
-// path tests eight bytes at a time through a 64-bit load: the fused chunk
-// pipeline runs this over every byte of the stream, so word-at-a-time
-// scanning is one of the optimizations behind PFPL's CPU throughput
-// (§III.E).
+// path classifies eight bytes per 64-bit load through the SWAR zero-byte
+// detector: the fused chunk pipeline runs this over every byte of the
+// stream, so word-at-a-time scanning is one of the optimizations behind
+// PFPL's CPU throughput (§III.E).
 func buildZeroBitmap(data []byte) []byte {
 	bm := make([]byte, bitmapLen(len(data)))
 	buildZeroBitmapInto(data, bm)
@@ -246,29 +461,22 @@ func buildZeroBitmap(data []byte) []byte {
 }
 
 // buildZeroBitmapInto writes the zero bitmap of data into bm, which must
-// have length bitmapLen(len(data)).
+// have length bitmapLen(len(data)). Each whole 8-byte group produces its
+// bitmap byte in one nonzeroByteMask; no per-bit probing, no pre-clear.
 func buildZeroBitmapInto(data []byte, bm []byte) {
-	clear(bm)
 	n8 := len(data) &^ 7
-	for i := 0; i < n8; i += 8 {
-		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
-			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
-			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
-		if w == 0 {
-			continue
-		}
+	i := 0
+	for ; i < n8; i += 8 {
+		bm[i>>3] = nonzeroByteMask(binary.LittleEndian.Uint64(data[i:]))
+	}
+	if i < len(data) {
 		var x byte
-		for bit := 0; bit < 8; bit++ {
-			if byte(w>>(8*uint(bit))) != 0 {
-				x |= 1 << uint(bit)
+		for j := i; j < len(data); j++ {
+			if data[j] != 0 {
+				x |= 1 << uint(j&7)
 			}
 		}
 		bm[i>>3] = x
-	}
-	for i := n8; i < len(data); i++ {
-		if data[i] != 0 {
-			bm[i>>3] |= 1 << uint(i&7)
-		}
 	}
 }
 
@@ -281,37 +489,74 @@ func buildRepeatBitmap(data []byte) []byte {
 }
 
 // buildRepeatBitmapInto writes the repeat bitmap of data into bm, which
-// must have length bitmapLen(len(data)).
+// must have length bitmapLen(len(data)). Shifting the loaded word left one
+// lane and injecting the previous group's last byte aligns every byte with
+// its predecessor, so the repeat test is one XOR plus the SWAR nonzero
+// detector per eight bytes.
 func buildRepeatBitmapInto(data []byte, bm []byte) {
-	clear(bm)
+	n8 := len(data) &^ 7
+	i := 0
 	prev := byte(0)
-	for i, b := range data {
-		if i == 0 || b != prev {
-			bm[i>>3] |= 1 << uint(i&7)
-		}
-		prev = b
+	for ; i < n8; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		bm[i>>3] = nonzeroByteMask(w ^ (w<<8 | uint64(prev)))
+		prev = byte(w >> 56)
 	}
-}
-
-// appendNonRepeat appends the bytes of data that differ from their
-// predecessor (plus the first byte) to out.
-func appendNonRepeat(out []byte, data []byte) []byte {
-	prev := byte(0)
-	for i, b := range data {
-		if i == 0 || b != prev {
-			out = append(out, b)
+	if i < len(data) {
+		var x byte
+		for j := i; j < len(data); j++ {
+			if data[j] != prev {
+				x |= 1 << uint(j&7)
+			}
+			prev = data[j]
 		}
-		prev = b
+		bm[i>>3] = x
 	}
-	return out
+	if len(data) > 0 {
+		bm[0] |= 1 // the first byte is always emitted
+	}
 }
 
 // expandRepeat reconstructs dst from its repeat bitmap bm and the stream of
-// non-repeating bytes at the front of src, returning bytes consumed.
+// non-repeating bytes at the front of src, returning bytes consumed. A
+// 64-bit bitmap word dispatches 64 output bytes: all-zero words are a
+// run-fill of the previous byte, all-ones words a straight copy, and mixed
+// words walk only the set bits (TrailingZeros64), filling the gaps between
+// them in runs.
 func expandRepeat(bm []byte, src []byte, dst []byte) (int, error) {
+	n := len(dst)
 	pos := 0
 	prev := byte(0)
-	for i := range dst {
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		s := binary.LittleEndian.Uint64(bm[i>>3:])
+		switch s {
+		case 0:
+			fillBytes(dst[i:i+64], prev)
+		case ^uint64(0):
+			if pos+64 > len(src) {
+				return 0, ErrCorrupt
+			}
+			copy(dst[i:i+64], src[pos:pos+64])
+			pos += 64
+			prev = dst[i+63]
+		default:
+			if pos+mbits.OnesCount64(s) > len(src) {
+				return 0, ErrCorrupt
+			}
+			last := i
+			for m := s; m != 0; m &= m - 1 {
+				p := i + mbits.TrailingZeros64(m)
+				fillBytes(dst[last:p], prev)
+				prev = src[pos]
+				pos++
+				dst[p] = prev
+				last = p + 1
+			}
+			fillBytes(dst[last:i+64], prev)
+		}
+	}
+	for ; i < n; i++ {
 		if bm[i>>3]&(1<<uint(i&7)) != 0 {
 			if pos >= len(src) {
 				return 0, ErrCorrupt
@@ -325,10 +570,37 @@ func expandRepeat(bm []byte, src []byte, dst []byte) (int, error) {
 }
 
 // expandZero reconstructs dst from its zero bitmap bm and the stream of
-// nonzero bytes at the front of src, returning bytes consumed.
+// nonzero bytes at the front of src, returning bytes consumed. Like
+// expandRepeat it dispatches 64 output bytes per bitmap word: all-zero
+// words are a memclr, all-ones words a copy, and mixed words scatter one
+// source byte per set bit after a single popcount bounds check.
 func expandZero(bm []byte, src []byte, dst []byte) (int, error) {
+	n := len(dst)
 	pos := 0
-	for i := range dst {
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		s := binary.LittleEndian.Uint64(bm[i>>3:])
+		switch s {
+		case 0:
+			clear(dst[i : i+64])
+		case ^uint64(0):
+			if pos+64 > len(src) {
+				return 0, ErrCorrupt
+			}
+			copy(dst[i:i+64], src[pos:pos+64])
+			pos += 64
+		default:
+			if pos+mbits.OnesCount64(s) > len(src) {
+				return 0, ErrCorrupt
+			}
+			clear(dst[i : i+64])
+			for m := s; m != 0; m &= m - 1 {
+				dst[i+mbits.TrailingZeros64(m)] = src[pos]
+				pos++
+			}
+		}
+	}
+	for ; i < n; i++ {
 		if bm[i>>3]&(1<<uint(i&7)) != 0 {
 			if pos >= len(src) {
 				return 0, ErrCorrupt
@@ -340,4 +612,17 @@ func expandZero(bm []byte, src []byte, dst []byte) (int, error) {
 		}
 	}
 	return pos, nil
+}
+
+// fillBytes sets every byte of dst to v. The zero case lowers to the
+// runtime's memclr; nonzero runs are short (gaps between non-repeating
+// bitmap bytes), so a plain loop wins over cleverness.
+func fillBytes(dst []byte, v byte) {
+	if v == 0 {
+		clear(dst)
+		return
+	}
+	for j := range dst {
+		dst[j] = v
+	}
 }
