@@ -17,7 +17,10 @@
 // through the concurrent frame pipeline instead of one monolithic
 // container; -stream-frame sets the values per frame and -stream-workers
 // the number of frames compressed in flight. Framed streams are detected
-// automatically by -d and -stat.
+// automatically by -d and -stat. Adding -index appends a seekable footer
+// index (frame offsets, value counts, SHA-256 digests) that -d -range
+// OFFSET:COUNT uses to decode a value window touching only the covering
+// frames and chunks.
 //
 // The serve subcommand runs the bounded-concurrency HTTP service (see
 // internal/server); -metrics prints the batch run's instrumentation —
@@ -27,11 +30,13 @@ package main
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +67,8 @@ func main() {
 	flag.BoolVar(&cfg.stream, "stream", false, "compress as a framed stream through the frame pipeline")
 	flag.IntVar(&cfg.streamFrame, "stream-frame", 0, "values per stream frame (0 = default)")
 	flag.IntVar(&cfg.streamWorkers, "stream-workers", 0, "frames compressed concurrently (0 = one per CPU)")
+	flag.BoolVar(&cfg.index, "index", false, "with -stream: append a seekable footer index to the stream")
+	flag.StringVar(&cfg.rng, "range", "", "with -d: decode only OFFSET:COUNT values (element units) via random access")
 	var withMetrics bool
 	flag.BoolVar(&withMetrics, "metrics", false, "print a JSON metrics summary of the run to stderr")
 	flag.StringVar(&cfg.trace, "trace", "", "write a Chrome trace-event JSON timeline of the run to this file (Perfetto-viewable); with -device gpu this is the modelled per-SM schedule")
@@ -96,6 +103,8 @@ type cliConfig struct {
 	stream        bool
 	streamFrame   int
 	streamWorkers int
+	index         bool
+	rng           string
 	reg           *metrics.Registry
 	trace         string
 	stats         bool
@@ -186,6 +195,9 @@ func run(cfg cliConfig) error {
 	}
 
 	if cfg.decompress {
+		if cfg.rng != "" {
+			return decompressRange(cfg, data)
+		}
 		if isFramed(data) {
 			return decompressStream(cfg, dev, data)
 		}
@@ -315,7 +327,7 @@ func compressStream(cfg cliConfig, mode pfpl.Mode, data []byte) error {
 		}
 		opts.Device = dev
 	}
-	sopts := pfpl.StreamOptions{Concurrency: cfg.streamWorkers, FrameValues: cfg.streamFrame, Trace: cfg.tracer}
+	sopts := pfpl.StreamOptions{Concurrency: cfg.streamWorkers, FrameValues: cfg.streamFrame, Index: cfg.index, Trace: cfg.tracer}
 	var sink bytes.Buffer
 	t0 := time.Now()
 	if cfg.double {
@@ -411,16 +423,114 @@ func decompressStream(cfg cliConfig, dev pfpl.Device, data []byte) error {
 	return finishObserve(cfg, nil)
 }
 
+// parseRange parses the -range flag ("OFFSET:COUNT", element units).
+func parseRange(s string) (offset, count int64, err error) {
+	o, c, ok := strings.Cut(s, ":")
+	if ok {
+		offset, err = strconv.ParseInt(o, 10, 64)
+		if err == nil {
+			count, err = strconv.ParseInt(c, 10, 64)
+		}
+	}
+	if !ok || err != nil || offset < 0 || count < 0 {
+		return 0, 0, fmt.Errorf("bad -range %q (want OFFSET:COUNT, both non-negative)", s)
+	}
+	return offset, count, nil
+}
+
+// decompressRange decodes only the requested value window. For an indexed
+// framed stream it opens the footer index and seeks to the covering frames;
+// for a monolithic container it decodes the covering chunks. Index-less
+// framed streams are rejected with a pointer at -index, rather than
+// silently decoding everything.
+func decompressRange(cfg cliConfig, data []byte) error {
+	offset, count, err := parseRange(cfg.rng)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	var outBytes []byte
+	if isFramed(data) {
+		x, err := pfpl.OpenIndexed(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			if errors.Is(err, pfpl.ErrNoIndex) {
+				return fmt.Errorf("framed stream has no footer index (recompress with -stream -index): %w", err)
+			}
+			return err
+		}
+		if x.Double() {
+			vals, err := x.Range64(offset, count)
+			if err != nil {
+				return err
+			}
+			outBytes = f64Bytes(vals)
+		} else {
+			vals, err := x.Range32(offset, count)
+			if err != nil {
+				return err
+			}
+			outBytes = f32Bytes(vals)
+		}
+		dt := time.Since(t0)
+		st := x.Stats()
+		if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
+			return err
+		}
+		recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
+		fmt.Printf("range [%d:%d) -> %d bytes in %v (read %d of %d stream bytes, %d frames, %d chunks)\n",
+			offset, offset+count, len(outBytes), dt, st.BytesRead, len(data), st.FramesTouched, st.ChunksDecoded)
+		return nil
+	}
+	info, err := pfpl.Stat(data)
+	if err != nil {
+		return err
+	}
+	if offset > int64(math.MaxInt) || count > int64(math.MaxInt) {
+		return fmt.Errorf("-range %q out of addressable range", cfg.rng)
+	}
+	if info.Double {
+		vals, err := pfpl.DecompressRange64(data, int(offset), int(count))
+		if err != nil {
+			return err
+		}
+		outBytes = f64Bytes(vals)
+	} else {
+		vals, err := pfpl.DecompressRange32(data, int(offset), int(count))
+		if err != nil {
+			return err
+		}
+		outBytes = f32Bytes(vals)
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(cfg.out, outBytes, 0o644); err != nil {
+		return err
+	}
+	recordBatch(cfg.reg, "decompress", len(data), len(outBytes), dt)
+	fmt.Printf("range [%d:%d) -> %d bytes in %v\n", offset, offset+count, len(outBytes), dt)
+	return nil
+}
+
 // statStream walks the frames of a framed stream and prints a summary,
 // including the chunk outcomes (raw-fallback counts) summed across frames.
+// A footer index, if present, ends the walk; the summary reports it.
 func statStream(data []byte) error {
 	frames := 0
 	var values uint64
 	var chunks, rawChunks int
 	var payload int64
 	var first pfpl.Info
+	indexed := false
 	for off := 0; off+framePrefix <= len(data); {
-		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		word := binary.LittleEndian.Uint32(data[off:])
+		if word == core.IndexMagicWord {
+			// The footer index begins here; verify it by opening it.
+			if _, err := pfpl.OpenIndexed(bytes.NewReader(data), int64(len(data))); err != nil {
+				return fmt.Errorf("framed stream: footer index at byte %d: %w", off, err)
+			}
+			indexed = true
+			break
+		}
+		n := int64(word)
 		body := int64(off) + framePrefix
 		if n <= 0 || body+n > int64(len(data)) {
 			return fmt.Errorf("framed stream: frame %d at byte %d truncated or corrupt", frames, off)
@@ -443,8 +553,8 @@ func statStream(data []byte) error {
 		values += uint64(info.Count)
 		off = int(body + n)
 	}
-	fmt.Printf("framed stream: frames=%d values=%d chunks=%d raw_chunks=%d payload_bytes=%d mode=%v bound=%g double=%v checksum=%v\n",
-		frames, values, chunks, rawChunks, payload, first.Mode, first.Bound, first.Double, first.Checksummed)
+	fmt.Printf("framed stream: frames=%d values=%d chunks=%d raw_chunks=%d payload_bytes=%d mode=%v bound=%g double=%v checksum=%v indexed=%v\n",
+		frames, values, chunks, rawChunks, payload, first.Mode, first.Bound, first.Double, first.Checksummed, indexed)
 	return nil
 }
 

@@ -1,8 +1,11 @@
 package pfpl
 
 import (
+	"bytes"
 	"math"
 	"testing"
+
+	"pfpl/internal/core"
 )
 
 // Fuzz targets: decompression must never panic on arbitrary input, and
@@ -18,6 +21,44 @@ func FuzzDecompress32(f *testing.F) {
 		_, _ = Decompress64(data, nil, Options{})
 		_, _ = DecompressRange32(data, 0, 4)
 		_, _ = Stat(data)
+	})
+}
+
+// FuzzOpenIndexed: opening and range-querying arbitrary bytes as an
+// indexed stream must never panic or over-allocate, only error. Seeds
+// cover a valid indexed stream plus the interesting mutations: truncated
+// trailers, a corrupted index block, and a tampered frame payload.
+func FuzzOpenIndexed(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter32(&buf, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 100, Index: true})
+	vals := make([]float32, 250)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	w.Write(vals)
+	w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                     // truncated trailer
+	f.Add(valid[:len(valid)-core.IndexTrailerSize]) // trailer gone entirely
+	f.Add(append([]byte{}, valid[framePrefix:]...)) // missing first prefix
+	crcBad := bytes.Clone(valid)
+	crcBad[len(crcBad)-core.IndexTrailerSize-5] ^= 0xFF // index block corrupt
+	f.Add(crcBad)
+	payloadBad := bytes.Clone(valid)
+	payloadBad[60] ^= 0x10 // frame payload tampered under an intact index
+	f.Add(payloadBad)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		_, _ = x.Range32(0, min(x.NumValues(), 64))
+		_, _ = x.Range64(0, 1)
+		if x.NumFrames() > 0 {
+			_, _ = x.Frame(0)
+		}
 	})
 }
 

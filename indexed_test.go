@@ -1,0 +1,400 @@
+package pfpl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"pfpl/internal/core"
+)
+
+// indexedStream compresses vals into an indexed framed stream.
+func indexedStream32(t testing.TB, vals []float32, frame int, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter32(&buf, opts, StreamOptions{FrameValues: frame, Index: true, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func indexedStream64(t testing.TB, vals []float64, frame int, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter64(&buf, opts, StreamOptions{FrameValues: frame, Index: true, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func rampF32(n int) []float32 {
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 37.0))
+	}
+	return vals
+}
+
+func rampF64(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) / 37.0)
+	}
+	return vals
+}
+
+// TestIndexedPrefixIsV1Stream pins back-compat at the byte level: an
+// indexed stream is the index-less stream plus a footer — the frame bytes
+// are identical, so v1 readers and goldens are unaffected by the option.
+func TestIndexedPrefixIsV1Stream(t *testing.T) {
+	vals := rampF32(10_000)
+	opts := Options{Mode: ABS, Bound: 1e-3}
+	var v1 bytes.Buffer
+	w, err := NewWriter32(&v1, opts, StreamOptions{FrameValues: 3000, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := indexedStream32(t, vals, 3000, opts)
+	if len(v2) <= v1.Len() {
+		t.Fatalf("indexed stream (%d bytes) not longer than index-less (%d bytes)", len(v2), v1.Len())
+	}
+	if !bytes.Equal(v2[:v1.Len()], v1.Bytes()) {
+		t.Fatal("indexed stream's frame area differs from the index-less stream")
+	}
+}
+
+// TestIndexedSequentialDecode checks a v2 stream still decodes through the
+// sequential reader, which must stop cleanly at the footer sentinel.
+func TestIndexedSequentialDecode(t *testing.T) {
+	vals := rampF32(10_000)
+	data := indexedStream32(t, vals, 3000, Options{Mode: ABS, Bound: 1e-3})
+	r := NewReader32(bytes.NewReader(data), Options{})
+	got := make([]float32, 0, len(vals))
+	buf := make([]float32, 1024)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("sequential read of indexed stream: %v", err)
+		}
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range got {
+		if math.Abs(float64(got[i])-float64(vals[i])) > 1e-3 {
+			t.Fatalf("value %d out of bound", i)
+		}
+	}
+}
+
+// TestIndexedRangeMatchesSequential sweeps windows (including chunk- and
+// frame-edge-aligned ones and the empty suffix) and checks Range32/64
+// against a full sequential decode.
+func TestIndexedRangeMatchesSequential(t *testing.T) {
+	const n = 20_000
+	const frame = 3251 // off both chunk sizes, forces ragged final chunks
+	vals32 := rampF32(n)
+	vals64 := rampF64(n)
+	opts := Options{Mode: ABS, Bound: 1e-3}
+	data32 := indexedStream32(t, vals32, frame, opts)
+	data64 := indexedStream64(t, vals64, frame, opts)
+
+	full32 := decodeAll32(t, data32)
+	full64 := decodeAll64(t, data64)
+
+	x32, err := OpenIndexed(bytes.NewReader(data32), int64(len(data32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x64, err := OpenIndexed(bytes.NewReader(data64), int64(len(data64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x32.NumValues() != n || x64.NumValues() != n {
+		t.Fatalf("NumValues = %d/%d, want %d", x32.NumValues(), x64.NumValues(), n)
+	}
+	if x32.Double() || !x64.Double() {
+		t.Fatalf("precision flags wrong: %v/%v", x32.Double(), x64.Double())
+	}
+
+	windows := [][2]int64{
+		{0, n},                    // everything
+		{0, 1},                    // first value
+		{n - 1, 1},                // last value
+		{n, 0},                    // empty window at the end (offset==n)
+		{0, 0},                    // empty window at the start
+		{4096, 4096},              // f32 chunk-aligned
+		{2048, 2048},              // f64 chunk-aligned
+		{frame, frame},            // frame-aligned
+		{frame - 1, 2},            // straddles a frame edge
+		{4095, 2},                 // straddles an f32 chunk edge
+		{3 * frame, 2*frame + 17}, // multiple frames
+		{13, 7001},                // arbitrary
+	}
+	for _, w := range windows {
+		off, cnt := w[0], w[1]
+		got32, err := x32.Range32(off, cnt)
+		if err != nil {
+			t.Fatalf("Range32(%d,%d): %v", off, cnt, err)
+		}
+		if int64(len(got32)) != cnt {
+			t.Fatalf("Range32(%d,%d) returned %d values", off, cnt, len(got32))
+		}
+		for i, v := range got32 {
+			if math.Float32bits(v) != math.Float32bits(full32[off+int64(i)]) {
+				t.Fatalf("Range32(%d,%d): value %d differs from sequential decode", off, cnt, i)
+			}
+		}
+		got64, err := x64.Range64(off, cnt)
+		if err != nil {
+			t.Fatalf("Range64(%d,%d): %v", off, cnt, err)
+		}
+		for i, v := range got64 {
+			if math.Float64bits(v) != math.Float64bits(full64[off+int64(i)]) {
+				t.Fatalf("Range64(%d,%d): value %d differs from sequential decode", off, cnt, i)
+			}
+		}
+	}
+
+	// Out-of-range windows are rejected, overflow-safely.
+	for _, w := range [][2]int64{{-1, 1}, {0, -1}, {n + 1, 0}, {n - 1, 2}, {math.MaxInt64, math.MaxInt64}} {
+		if _, err := x32.Range32(w[0], w[1]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Range32(%d,%d) = %v, want ErrCorrupt", w[0], w[1], err)
+		}
+	}
+	// Precision mismatch is rejected.
+	if _, err := x32.Range64(0, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Range64 on f32 stream = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestIndexedRangeIsOWindow pins the tentpole property: a small window into
+// a large stream reads and decodes a small, bounded amount — not the
+// stream.
+func TestIndexedRangeIsOWindow(t *testing.T) {
+	const n = 1 << 20 // 256 chunks, 16 frames
+	data := indexedStream32(t, rampF32(n), 1<<16, Options{Mode: ABS, Bound: 1e-3})
+	x, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := x.Stats()
+	if _, err := x.Range32(n/2, 100); err != nil {
+		t.Fatal(err)
+	}
+	st := x.Stats()
+	read := st.BytesRead - base.BytesRead
+	if read > int64(len(data))/8 {
+		t.Fatalf("window of 100 values read %d of %d stream bytes — not O(window)", read, len(data))
+	}
+	if decoded := st.ChunksDecoded - base.ChunksDecoded; decoded > 2 {
+		t.Fatalf("window of 100 values decoded %d chunks, want <= 2", decoded)
+	}
+	if touched := st.FramesTouched - base.FramesTouched; touched != 1 {
+		t.Fatalf("window of 100 values touched %d frames, want 1", touched)
+	}
+}
+
+// TestIndexedChecksummedFrames checks random access over frames that carry
+// their own CRC-32C trailer (Options.Checksum): the footer offsets must
+// account for the 4 trailer bytes per frame.
+func TestIndexedChecksummedFrames(t *testing.T) {
+	const n = 10_000
+	vals := rampF32(n)
+	data := indexedStream32(t, vals, 3000, Options{Mode: ABS, Bound: 1e-3, Checksum: true})
+	x, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.Range32(2999, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := decodeAll32(t, data)
+	for i, v := range got {
+		if math.Float32bits(v) != math.Float32bits(full[2999+i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+// TestIndexedFrameDigest checks Frame verifies content against the index:
+// valid frames round-trip, a flipped payload bit is caught.
+func TestIndexedFrameDigest(t *testing.T) {
+	data := indexedStream32(t, rampF32(10_000), 3000, Options{Mode: ABS, Bound: 1e-3})
+	x, err := OpenIndexed(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := x.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stat(frame); err != nil {
+		t.Fatalf("frame 1 is not a standalone container: %v", err)
+	}
+
+	// Flip one payload byte of frame 1 and re-open: the digest check fires.
+	corrupt := bytes.Clone(data)
+	e := x.Entries()[1]
+	corrupt[e.Offset+4+e.Length/2] ^= 0x01
+	xc, err := OpenIndexed(bytes.NewReader(corrupt), int64(len(corrupt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xc.Frame(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Frame on corrupted payload = %v, want ErrCorrupt", err)
+	}
+	if _, err := xc.Frame(-1); err == nil {
+		t.Fatal("Frame(-1) succeeded")
+	}
+}
+
+// TestIndexedCorruptFooter drives OpenIndexed through damaged footers:
+// truncated trailers, bad CRCs, index/chunk-table disagreement, and a
+// stream with no footer at all.
+func TestIndexedCorruptFooter(t *testing.T) {
+	data := indexedStream32(t, rampF32(10_000), 3000, Options{Mode: ABS, Bound: 1e-3})
+
+	t.Run("no-index", func(t *testing.T) {
+		var v1 bytes.Buffer
+		w, _ := NewWriter32(&v1, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{FrameValues: 3000})
+		w.Write(rampF32(5000))
+		w.Close()
+		if _, err := OpenIndexed(bytes.NewReader(v1.Bytes()), int64(v1.Len())); !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("OpenIndexed on v1 stream = %v, want ErrNoIndex", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := OpenIndexed(bytes.NewReader(nil), 0); !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("OpenIndexed on empty input = %v, want ErrNoIndex", err)
+		}
+	})
+	t.Run("truncated-trailer", func(t *testing.T) {
+		for cut := 1; cut <= core.IndexTrailerSize; cut += 7 {
+			tr := data[:len(data)-cut]
+			if _, err := OpenIndexed(bytes.NewReader(tr), int64(len(tr))); err == nil {
+				t.Fatalf("OpenIndexed on stream truncated by %d bytes succeeded", cut)
+			}
+		}
+	})
+	t.Run("index-crc", func(t *testing.T) {
+		c := bytes.Clone(data)
+		// Flip a byte inside the index block (between last frame and trailer).
+		c[len(c)-core.IndexTrailerSize-10] ^= 0x40
+		if _, err := OpenIndexed(bytes.NewReader(c), int64(len(c))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("corrupt index block = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("trailer-offset", func(t *testing.T) {
+		c := bytes.Clone(data)
+		binary.LittleEndian.PutUint64(c[len(c)-core.IndexTrailerSize:], 1<<40)
+		if _, err := OpenIndexed(bytes.NewReader(c), int64(len(c))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailer pointing outside stream = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("index-vs-chunk-table", func(t *testing.T) {
+		// Corrupt the *container header* value count of frame 0 while
+		// keeping the index intact: the cross-check at open must fire.
+		c := bytes.Clone(data)
+		binary.LittleEndian.PutUint64(c[4+24:], 12345)
+		if _, err := OpenIndexed(bytes.NewReader(c), int64(len(c))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("index/chunk-table disagreement = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestIndexedEmptyStream checks the zero-frame indexed stream round-trips.
+func TestIndexedEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter32(&buf, Options{Mode: ABS, Bound: 1e-3}, StreamOptions{Index: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	x, err := OpenIndexed(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumFrames() != 0 || x.NumValues() != 0 {
+		t.Fatalf("empty stream: %d frames, %d values", x.NumFrames(), x.NumValues())
+	}
+	if got, err := x.Range32(0, 0); err != nil || got != nil {
+		t.Fatalf("empty Range32 = %v, %v", got, err)
+	}
+}
+
+// TestFrameLenCapSymmetry is the regression test for the writer/reader
+// frame-cap asymmetry: every frame the writer will emit must be readable on
+// every platform, including 32-bit targets where int tops out at 2^31-1.
+// The predicates are tested directly so no multi-gigabyte frame is
+// allocated.
+func TestFrameLenCapSymmetry(t *testing.T) {
+	if maxWriteFrameBytes > math.MaxInt32 {
+		t.Fatalf("maxWriteFrameBytes %d exceeds the 32-bit int range", maxWriteFrameBytes)
+	}
+	if !frameLenWritable(maxWriteFrameBytes) {
+		t.Fatal("largest writable frame rejected by the writer predicate")
+	}
+	if !frameLenReadable(maxWriteFrameBytes) {
+		t.Fatal("largest writable frame is not readable")
+	}
+	// The old cap: writeFrame accepted exactly 2^31 bytes, which a 32-bit
+	// readFrame rejects. The writer must refuse it now.
+	if frameLenWritable(maxFrameBytes) {
+		t.Fatalf("writer accepts a %d-byte frame, which 32-bit readers reject", maxFrameBytes)
+	}
+	for _, n := range []int64{0, -1} {
+		if frameLenWritable(n) || frameLenReadable(n) {
+			t.Fatalf("length %d accepted", n)
+		}
+	}
+}
+
+// decodeAll32 lives in stream_ctx_test.go.
+
+func decodeAll64(t testing.TB, data []byte) []float64 {
+	t.Helper()
+	r := NewReader64(bytes.NewReader(data), Options{})
+	var out []float64
+	buf := make([]float64, 4096)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

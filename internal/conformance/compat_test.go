@@ -1,0 +1,157 @@
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pfpl"
+)
+
+// compatDir holds committed binary stream fixtures: small v1 (index-less)
+// and v2 (footer-indexed) framed streams plus a manifest of their SHA-256
+// and the SHA-256 of their decoded output. Unlike the golden vectors —
+// which re-encode the corpus and compare digests — these are actual bytes
+// written by a past build: a reader regression that golden re-encoding
+// can't see (e.g. a parser change that rejects old streams) fails here.
+const compatDir = "../../testdata/compat"
+
+const compatManifest = "manifest.txt"
+
+// compatInputs are the fixture sources, drawn from the deterministic corpus
+// so regeneration is reproducible. Small entries keep the committed bytes
+// tiny while still spanning multiple frames and ragged chunks.
+func compatInputs() []Entry {
+	var out []Entry
+	for _, e := range Corpus() {
+		if e.Heavy {
+			continue
+		}
+		// Multi-frame but small: between 2 and 4 frames of 3251 values.
+		if len(e.F32) > streamFrameValues && len(e.F32) <= 4*streamFrameValues {
+			out = append(out, e)
+			if len(out) == 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestStreamCompatFixtures decodes the committed streams and checks both
+// the fixture bytes and the decoded values against the manifest. v1
+// fixtures must keep decoding byte-identically through the sequential
+// reader and must answer ErrNoIndex from OpenIndexed; v2 fixtures must
+// decode identically through BOTH the sequential reader and the footer
+// index. Regenerate with:
+//
+//	go test ./internal/conformance -run TestStreamCompatFixtures -update
+func TestStreamCompatFixtures(t *testing.T) {
+	cfg := Config{Mode: pfpl.ABS, Bound: 1e-3}
+
+	if *update {
+		if testing.Short() {
+			t.Fatal("-update needs the full corpus; rerun without -short")
+		}
+		if err := os.MkdirAll(compatDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		type fixture struct{ name, streamHash, decodedHash string }
+		var fixtures []fixture
+		for _, e := range compatInputs() {
+			v1 := serialFramed32(t, e.F32, cfg)
+			v2 := indexedStream32(t, e.F32, cfg)
+			dec := hashF32(readAll32(t, v1))
+			for _, fx := range []struct {
+				name string
+				data []byte
+			}{
+				{"v1-" + e.Name + ".pfpls", v1},
+				{"v2-" + e.Name + ".pfpls", v2},
+			} {
+				if err := os.WriteFile(filepath.Join(compatDir, fx.name), fx.data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				fixtures = append(fixtures, fixture{fx.name, hashBytes(fx.data), dec})
+			}
+		}
+		sort.Slice(fixtures, func(i, j int) bool { return fixtures[i].name < fixtures[j].name })
+		var b strings.Builder
+		b.WriteString("# PFPL stream compatibility fixtures: file sha256-of-stream sha256-of-decoded-f32\n")
+		b.WriteString("# Regenerate: go test ./internal/conformance -run TestStreamCompatFixtures -update\n")
+		for _, fx := range fixtures {
+			fmt.Fprintf(&b, "%s %s %s\n", fx.name, fx.streamHash, fx.decodedHash)
+		}
+		if err := os.WriteFile(filepath.Join(compatDir, compatManifest), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d compat fixtures to %s", len(fixtures), compatDir)
+		return
+	}
+
+	mf, err := os.Open(filepath.Join(compatDir, compatManifest))
+	if err != nil {
+		t.Fatalf("compat manifest missing (%v); regenerate with -update", err)
+	}
+	defer mf.Close()
+	sc := bufio.NewScanner(mf)
+	checked := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			t.Fatalf("malformed manifest line: %q", line)
+		}
+		name, wantStream, wantDecoded := parts[0], parts[1], parts[2]
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(compatDir, name))
+			if err != nil {
+				t.Fatalf("fixture missing (%v); regenerate with -update", err)
+			}
+			if got := hashBytes(data); got != wantStream {
+				t.Fatalf("fixture bytes changed on disk (digest %s, manifest %s)", got[:12], wantStream[:12])
+			}
+			// Sequential decode: the committed past-build bytes must keep
+			// decoding, v1 and v2 alike.
+			seq := readAll32(t, data)
+			if got := hashF32(seq); got != wantDecoded {
+				t.Fatalf("DECODE CHANGED for committed stream (digest %s, manifest %s): "+
+					"previously written data no longer reads back identically", got[:12], wantDecoded[:12])
+			}
+			x, err := pfpl.OpenIndexed(bytes.NewReader(data), int64(len(data)))
+			if strings.HasPrefix(name, "v1-") {
+				if !errors.Is(err, pfpl.ErrNoIndex) {
+					t.Fatalf("OpenIndexed on v1 fixture = %v, want ErrNoIndex", err)
+				}
+				return
+			}
+			// v2: the random-access path must agree with the sequential one.
+			if err != nil {
+				t.Fatalf("OpenIndexed on v2 fixture: %v", err)
+			}
+			ra, err := x.Range32(0, x.NumValues())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hashF32(ra); got != wantDecoded {
+				t.Fatalf("random-access decode differs from manifest (digest %s)", got[:12])
+			}
+		})
+		checked++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("empty compat manifest; regenerate with -update")
+	}
+}

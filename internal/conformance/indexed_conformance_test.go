@@ -1,0 +1,226 @@
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pfpl"
+)
+
+// goldenIndexedPath pins the footer-indexed (v2) streaming format: the
+// SHA-256 of every corpus entry's indexed stream. The frame area of a v2
+// stream is byte-identical to the v1 stream (asserted below), so these
+// vectors pin exactly the footer: index block layout, record encoding, and
+// trailer.
+const goldenIndexedPath = "../../testdata/conformance/golden_stream_indexed.txt"
+
+// indexedStream builds the reference indexed stream: the serial writer with
+// the footer enabled. The footer depends only on the frame bytes (offsets,
+// lengths, digests), so the result is deterministic.
+func indexedStream32(t testing.TB, vals []float32, cfg Config) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	w, err := pfpl.NewWriter32(&sink, pfpl.Options{Mode: cfg.Mode, Bound: cfg.Bound},
+		pfpl.StreamOptions{FrameValues: streamFrameValues, Concurrency: 1, Index: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Bytes()
+}
+
+func indexedStream64(t testing.TB, vals []float64, cfg Config) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	w, err := pfpl.NewWriter64(&sink, pfpl.Options{Mode: cfg.Mode, Bound: cfg.Bound},
+		pfpl.StreamOptions{FrameValues: streamFrameValues, Concurrency: 1, Index: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Bytes()
+}
+
+// TestIndexedStreamGoldenVectors pins the v2 footer format and its
+// back-compat contract in one pass: for every corpus entry × config ×
+// precision, (a) the indexed stream's frame area is byte-identical to the
+// v1 stream — the footer is strictly additive — and (b) the whole indexed
+// stream's SHA-256 matches the checked-in vector. Regenerate (full corpus
+// required) with:
+//
+//	go test ./internal/conformance -run TestIndexedStreamGoldenVectors -update
+func TestIndexedStreamGoldenVectors(t *testing.T) {
+	if *update && testing.Short() {
+		t.Fatal("-update needs the full corpus; rerun without -short")
+	}
+	got := map[string]string{}
+	var keys []string
+	for _, e := range Corpus() {
+		if testing.Short() && e.Heavy {
+			continue
+		}
+		for _, cfg := range Configs() {
+			v1 := serialFramed32(t, e.F32, cfg)
+			v2 := indexedStream32(t, e.F32, cfg)
+			if len(v2) <= len(v1) || !bytes.Equal(v2[:len(v1)], v1) {
+				t.Fatalf("%s/%s/f32: indexed stream is not v1 + footer", e.Name, cfg.Name())
+			}
+			k32 := e.Name + "/" + cfg.Name() + "/f32"
+			got[k32] = hashBytes(v2)
+
+			v1 = serialFramed64(t, e.F64, cfg)
+			v2 = indexedStream64(t, e.F64, cfg)
+			if len(v2) <= len(v1) || !bytes.Equal(v2[:len(v1)], v1) {
+				t.Fatalf("%s/%s/f64: indexed stream is not v1 + footer", e.Name, cfg.Name())
+			}
+			k64 := e.Name + "/" + cfg.Name() + "/f64"
+			got[k64] = hashBytes(v2)
+			keys = append(keys, k32, k64)
+		}
+	}
+
+	if *update {
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString("# PFPL golden indexed-stream vectors: sha256 of the footer-indexed framed stream\n")
+		fmt.Fprintf(&b, "# (serial writer, %d values per frame, StreamOptions.Index).\n", streamFrameValues)
+		b.WriteString("# Regenerate: go test ./internal/conformance -run TestIndexedStreamGoldenVectors -update\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s\n", k, got[k])
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenIndexedPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenIndexedPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden indexed-stream vectors to %s", len(keys), goldenIndexedPath)
+		return
+	}
+
+	f, err := os.Open(goldenIndexedPath)
+	if err != nil {
+		t.Fatalf("golden indexed-stream vectors missing (%v); regenerate with -update", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed golden indexed line: %q", line)
+		}
+		want[parts[0]] = parts[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden indexed vector; new corpus entry? rerun with -update", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: INDEXED STREAM FORMAT CHANGED (digest %s, golden %s); "+
+				"previously written v2 streams can no longer be opened — fix the regression or rerun with -update",
+				k, got[k][:12], w[:12])
+		}
+	}
+	if !testing.Short() {
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Errorf("%s: stale golden indexed vector; rerun with -update", k)
+			}
+		}
+	}
+}
+
+// TestIndexedRandomAccessConformance is the random-access differential
+// sweep: for every corpus entry × config, windows served through the footer
+// index must be bit-identical to the sequential reader's decode — the same
+// values, reached by seeking instead of scanning.
+func TestIndexedRandomAccessConformance(t *testing.T) {
+	for _, e := range Corpus() {
+		if testing.Short() && e.Heavy {
+			continue
+		}
+		for _, cfg := range Configs() {
+			e, cfg := e, cfg
+			t.Run(e.Name+"/"+cfg.Name(), func(t *testing.T) {
+				t.Parallel()
+				stream := indexedStream32(t, e.F32, cfg)
+				x, err := pfpl.OpenIndexed(bytes.NewReader(stream), int64(len(stream)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if x.NumValues() != int64(len(e.F32)) {
+					t.Fatalf("NumValues = %d, want %d", x.NumValues(), len(e.F32))
+				}
+				seq := readAll32(t, stream)
+				n := int64(len(seq))
+				for _, w := range sampleWindows(n) {
+					got, err := x.Range32(w[0], w[1])
+					if err != nil {
+						t.Fatalf("Range32(%d,%d): %v", w[0], w[1], err)
+					}
+					for i, v := range got {
+						if math.Float32bits(v) != math.Float32bits(seq[w[0]+int64(i)]) {
+							t.Fatalf("Range32(%d,%d): element %d differs from sequential decode", w[0], w[1], i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// sampleWindows picks deterministic windows covering the interesting
+// boundaries of an n-value stream: edges, chunk seams, frame seams, empty.
+func sampleWindows(n int64) [][2]int64 {
+	if n == 0 {
+		return [][2]int64{{0, 0}}
+	}
+	ws := [][2]int64{
+		{0, min64(n, 1)},
+		{0, n},
+		{n - 1, 1},
+		{n, 0},
+		{n / 2, min64(n-n/2, 777)},
+	}
+	if n > streamFrameValues {
+		ws = append(ws, [2]int64{streamFrameValues - 1, 2})
+	}
+	if n > 4096 {
+		ws = append(ws, [2]int64{4095, 2})
+	}
+	return ws
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -34,6 +35,18 @@ func AppendChecksum(buf []byte) ([]byte, error) {
 // HasChecksum reports whether the stream carries a checksum trailer.
 func HasChecksum(buf []byte) bool {
 	return len(buf) >= headerSize && buf[5]&checksumFlag != 0
+}
+
+// DigestSize is the byte length of a frame content digest.
+const DigestSize = sha256.Size
+
+// FrameDigest is the content address of a compressed frame: the SHA-256 of
+// its bytes. The streaming footer index records one per frame, giving a
+// random-access reader end-to-end integrity on exactly the frames it
+// touches, and giving a serving cache a collision-resistant key under which
+// identical frames from different uploads dedupe into one entry.
+func FrameDigest(frame []byte) [DigestSize]byte {
+	return sha256.Sum256(frame)
 }
 
 // VerifyAndStripChecksum validates the trailer and returns the stream

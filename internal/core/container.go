@@ -30,6 +30,12 @@ const (
 	rawChunkFlag = 0x80000000
 )
 
+// ContainerHeaderSize is the fixed container header length, exported for
+// readers that fetch a container's header and chunk-size table by offset
+// (the footer-index random-access path) instead of holding the whole
+// container in memory.
+const ContainerHeaderSize = headerSize
+
 // Header describes a compressed stream.
 type Header struct {
 	Mode      Mode

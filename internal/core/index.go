@@ -1,0 +1,167 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Footer index for the framed streaming format (container version 2 of the
+// stream layer). A framed stream is a sequence of length-prefixed frames;
+// without an index, a reader must walk the frames from byte zero to find
+// anything. The footer index makes the stream seekable: after the last
+// frame the writer emits one index block plus a fixed-size trailer locating
+// it, so a reader holding an io.ReaderAt jumps to the trailer, loads the
+// table, and seeks directly to the frames (and, through each frame's own
+// chunk-size table, the chunks) covering any value range.
+//
+// Layout (all integers little-endian), appended after the last frame:
+//
+//	index block:
+//	  0      4     magic "PFIX" — sits where a frame length prefix would,
+//	               so sequential readers recognize the end of the frames
+//	  4      4     index format version (1)
+//	  8      8     frame count n
+//	  16     56*n  frame records:
+//	                 0   8   stream byte offset of the frame's length prefix
+//	                 8   4   frame body length in bytes (prefix excluded)
+//	                 12  4   chunk count of the frame's container
+//	                 16  4   value count of the frame's container
+//	                 20  4   reserved (zero)
+//	                 24  32  SHA-256 of the frame body
+//	trailer (last IndexTrailerSize bytes of the stream):
+//	  0      8     index block byte offset in the stream
+//	  8      4     index block byte length
+//	  12     4     CRC-32C of the index block
+//	  16     8     magic "PFPLIDX1"
+//
+// The sentinel property: "PFIX" read as a little-endian uint32 is
+// 0x58494650 ≈ 1.48 GB, above the largest frame the writer can emit
+// (maxFrameValues values, ≤ ~1.1 GB raw double precision), so a sequential
+// reader that finds it where a frame length belongs is looking at the
+// index, not a frame — it stops cleanly instead of mis-parsing the footer.
+// Streams without the footer (v1) are unchanged byte for byte and keep
+// decoding through the existing front-to-back path.
+const (
+	indexMagic   = "PFIX"
+	trailerMagic = "PFPLIDX1"
+
+	// IndexVersion is the footer index format version.
+	IndexVersion = 1
+
+	// IndexTrailerSize is the fixed trailer length at the end of an indexed
+	// stream.
+	IndexTrailerSize = 24
+
+	indexHeaderSize = 16
+	frameRecordSize = 24 + DigestSize
+)
+
+// IndexMagicWord is the little-endian uint32 a sequential frame reader sees
+// in place of a frame length prefix when it reaches the footer index.
+var IndexMagicWord = binary.LittleEndian.Uint32([]byte(indexMagic))
+
+// FrameRecord is one frame's entry in the footer index.
+type FrameRecord struct {
+	Offset int64            // stream byte offset of the frame's length prefix
+	Length int64            // frame body length, excluding the 4-byte prefix
+	Chunks int              // chunk count of the frame's container
+	Values int64            // element count of the frame's container
+	Digest [DigestSize]byte // SHA-256 of the frame body
+}
+
+// AppendIndex serializes the index block for recs to out.
+func AppendIndex(out []byte, recs []FrameRecord) []byte {
+	var hdr [indexHeaderSize]byte
+	copy(hdr[0:4], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], IndexVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	out = append(out, hdr[:]...)
+	for _, r := range recs {
+		var rec [frameRecordSize]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(r.Offset))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(r.Length))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(r.Chunks))
+		binary.LittleEndian.PutUint32(rec[16:], uint32(r.Values))
+		copy(rec[24:], r.Digest[:])
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// AppendIndexTrailer serializes the fixed trailer for an index block that
+// starts at stream byte offset indexOff.
+func AppendIndexTrailer(out []byte, indexOff int64, block []byte) []byte {
+	var tr [IndexTrailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(block)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(block, castagnoli))
+	copy(tr[16:], trailerMagic)
+	return append(out, tr[:]...)
+}
+
+// HasIndexTrailer reports whether the last IndexTrailerSize bytes of a
+// stream end in the trailer magic.
+func HasIndexTrailer(tail []byte) bool {
+	return len(tail) >= IndexTrailerSize &&
+		string(tail[len(tail)-8:]) == trailerMagic
+}
+
+// ParseIndexTrailer decodes a trailer (the final IndexTrailerSize bytes of
+// a stream of streamSize bytes), validating that the index block it locates
+// lies inside the stream, before the trailer.
+func ParseIndexTrailer(tr []byte, streamSize int64) (indexOff, indexLen int64, crc uint32, err error) {
+	if len(tr) != IndexTrailerSize || string(tr[16:]) != trailerMagic {
+		return 0, 0, 0, fmt.Errorf("%w: missing or malformed index trailer", ErrCorrupt)
+	}
+	off := binary.LittleEndian.Uint64(tr[0:])
+	l := int64(binary.LittleEndian.Uint32(tr[8:]))
+	if off > math.MaxInt64 || l < indexHeaderSize ||
+		int64(off)+l != streamSize-IndexTrailerSize {
+		return 0, 0, 0, fmt.Errorf("%w: index trailer points outside the stream", ErrCorrupt)
+	}
+	return int64(off), l, binary.LittleEndian.Uint32(tr[12:]), nil
+}
+
+// ParseIndex decodes an index block, verifying the CRC-32C from the trailer
+// and the structural invariants a seeking reader relies on: records in
+// strictly increasing offset order, frame extents non-overlapping and
+// contained in the frame area [0, blockOff), and positive lengths.
+func ParseIndex(block []byte, wantCRC uint32, blockOff int64) ([]FrameRecord, error) {
+	if crc32.Checksum(block, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("%w: index block checksum mismatch", ErrCorrupt)
+	}
+	if len(block) < indexHeaderSize || string(block[0:4]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad index magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(block[4:]); v != IndexVersion {
+		return nil, fmt.Errorf("%w: unsupported index version %d", ErrCorrupt, v)
+	}
+	n := binary.LittleEndian.Uint64(block[8:])
+	if n > uint64(len(block)-indexHeaderSize)/frameRecordSize ||
+		int(n)*frameRecordSize != len(block)-indexHeaderSize {
+		return nil, fmt.Errorf("%w: index record count disagrees with block size", ErrCorrupt)
+	}
+	recs := make([]FrameRecord, n)
+	next := int64(0) // expected offset of the next frame's length prefix
+	for i := range recs {
+		b := block[indexHeaderSize+i*frameRecordSize:]
+		r := FrameRecord{
+			Offset: int64(binary.LittleEndian.Uint64(b[0:])),
+			Length: int64(binary.LittleEndian.Uint32(b[8:])),
+			Chunks: int(binary.LittleEndian.Uint32(b[12:])),
+			Values: int64(binary.LittleEndian.Uint32(b[16:])),
+		}
+		copy(r.Digest[:], b[24:])
+		if r.Offset != next || r.Length <= 0 || r.Offset+4+r.Length > blockOff {
+			return nil, fmt.Errorf("%w: index record %d is out of place", ErrCorrupt, i)
+		}
+		next = r.Offset + 4 + r.Length
+		recs[i] = r
+	}
+	if next != blockOff {
+		return nil, fmt.Errorf("%w: index does not cover the frame area", ErrCorrupt)
+	}
+	return recs, nil
+}

@@ -1,10 +1,55 @@
 package core
 
+import "encoding/binary"
+
 // Random-access decompression: because chunks are independent and the
 // chunk-size table gives every chunk's offset via a prefix sum, any value
 // range can be reconstructed by decoding only the chunks that cover it —
 // the same property ZFP advertises for its blocks (§VI), falling out of
 // PFPL's chunked container for free.
+
+// ChunkWindow scans the first last+1 entries of a raw chunk-size table and
+// returns, for chunks first..last inclusive, their payload byte offsets
+// (relative to the start of the payload area), lengths, and raw flags.
+//
+// Unlike ChunkTable it stops at the covering window: entries past last are
+// never read or validated, so the cost of locating a window is proportional
+// to its end position, not to the total chunk count — and a corrupt table
+// entry after the window cannot fail a query that never touches it. The
+// caller must bounds-check the returned window against its payload area
+// (ChunkWindow does not see the payload).
+func ChunkWindow(table []byte, first, last int) (offsets, lengths []int, raws []bool, err error) {
+	if first < 0 || last < first || last >= len(table)/4 {
+		return nil, nil, nil, ErrCorrupt
+	}
+	n := last - first + 1
+	offsets = make([]int, n)
+	lengths = make([]int, n)
+	raws = make([]bool, n)
+	total := 0
+	for i := 0; i <= last; i++ {
+		v := binary.LittleEndian.Uint32(table[4*i:])
+		l := int(v &^ rawChunkFlag)
+		if l > MaxChunkPayload {
+			return nil, nil, nil, ErrCorrupt
+		}
+		if i >= first {
+			offsets[i-first] = total
+			lengths[i-first] = l
+			raws[i-first] = v&rawChunkFlag != 0
+		}
+		total += l
+	}
+	return offsets, lengths, raws, nil
+}
+
+// ChunkTableBytes returns the raw chunk-size table and payload area of a
+// parsed container. ParseHeader has already verified the buffer covers the
+// table.
+func ChunkTableBytes(buf []byte, h *Header) (table, payload []byte) {
+	end := headerSize + 4*h.NumChunks
+	return buf[headerSize:end], buf[end:]
+}
 
 // DecompressRange32 decodes count values starting at element offset from a
 // single-precision stream, touching only the covering chunks.
@@ -30,12 +75,20 @@ func DecompressRange32(buf []byte, offset, count int) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	firstChunk := offset / ChunkWords32
+	lastChunk := (offset + count - 1) / ChunkWords32
+	// The windowed table stops prefix-summing at lastChunk: a two-chunk
+	// window into a million-chunk stream validates and sums only the table
+	// prefix it needs, never the chunks behind it.
+	table, payload := ChunkTableBytes(buf, &h)
+	offsets, lengths, raws, err := ChunkWindow(table, firstChunk, lastChunk)
 	if err != nil {
 		return nil, err
 	}
-	firstChunk := offset / ChunkWords32
-	lastChunk := (offset + count - 1) / ChunkWords32
+	w := lastChunk - firstChunk
+	if offsets[w]+lengths[w] > len(payload) {
+		return nil, ErrCorrupt
+	}
 	out := make([]float32, count)
 	var s Scratch32
 	tmp := make([]float32, ChunkWords32)
@@ -43,8 +96,8 @@ func DecompressRange32(buf []byte, offset, count int) ([]float32, error) {
 		lo := c * ChunkWords32
 		hi := min(lo+ChunkWords32, n)
 		dst := tmp[:hi-lo]
-		pl := payload[offsets[c] : offsets[c]+lengths[c]]
-		if err := DecodeChunk32(&p, pl, raws[c], dst, &s); err != nil {
+		pl := payload[offsets[c-firstChunk] : offsets[c-firstChunk]+lengths[c-firstChunk]]
+		if err := DecodeChunk32(&p, pl, raws[c-firstChunk], dst, &s); err != nil {
 			return nil, err
 		}
 		// Copy the overlap of [lo, hi) with [offset, offset+count).
@@ -77,12 +130,18 @@ func DecompressRange64(buf []byte, offset, count int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	offsets, lengths, raws, payload, err := ChunkTable(buf, &h)
+	firstChunk := offset / ChunkWords64
+	lastChunk := (offset + count - 1) / ChunkWords64
+	// See DecompressRange32: table work stops at the covering window.
+	table, payload := ChunkTableBytes(buf, &h)
+	offsets, lengths, raws, err := ChunkWindow(table, firstChunk, lastChunk)
 	if err != nil {
 		return nil, err
 	}
-	firstChunk := offset / ChunkWords64
-	lastChunk := (offset + count - 1) / ChunkWords64
+	w := lastChunk - firstChunk
+	if offsets[w]+lengths[w] > len(payload) {
+		return nil, ErrCorrupt
+	}
 	out := make([]float64, count)
 	var s Scratch64
 	tmp := make([]float64, ChunkWords64)
@@ -90,8 +149,8 @@ func DecompressRange64(buf []byte, offset, count int) ([]float64, error) {
 		lo := c * ChunkWords64
 		hi := min(lo+ChunkWords64, n)
 		dst := tmp[:hi-lo]
-		pl := payload[offsets[c] : offsets[c]+lengths[c]]
-		if err := DecodeChunk64(&p, pl, raws[c], dst, &s); err != nil {
+		pl := payload[offsets[c-firstChunk] : offsets[c-firstChunk]+lengths[c-firstChunk]]
+		if err := DecodeChunk64(&p, pl, raws[c-firstChunk], dst, &s); err != nil {
 			return nil, err
 		}
 		from := max(lo, offset)

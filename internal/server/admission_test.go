@@ -140,6 +140,38 @@ func TestAdmissionRetryAfter(t *testing.T) {
 		t.Fatalf("huge backlog: RetryAfter = %v, want ceiling %v", got, retryCeil)
 	}
 	a.Release(1000, time.Millisecond)
+
+	// A fast drain rate must still floor at a second: 1 byte over budget at
+	// 1ms/byte is a 1ms estimate, which would render as "Retry-After: 0".
+	if err := a.Acquire(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RetryAfter(1); got < retryFloor {
+		t.Fatalf("sub-second drain: RetryAfter = %v, want >= %v", got, retryFloor)
+	}
+	a.Release(1000, 0)
+}
+
+// TestRetryAfterSeconds pins the header render: never zero, whole seconds,
+// always rounded up — the belt to RetryAfter's clamping braces.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+		{-time.Second, 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
 }
 
 // TestAdmissionConcurrent hammers the gate from many goroutines and checks

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pfpl"
+	"pfpl/internal/core"
+)
+
+// indexedUpload compresses vals into an indexed framed stream for PUTing.
+func indexedUpload(t *testing.T, vals []float32, frame int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pfpl.NewWriter32(&buf, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3},
+		pfpl.StreamOptions{FrameValues: frame, Index: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func doReq(t *testing.T, method, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func counterValue(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s.Metrics().String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := m[name]
+	if !ok {
+		return 0
+	}
+	var v int64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("counter %s: %v", name, err)
+	}
+	return v
+}
+
+// TestObjectPutGetRange drives the whole object path: upload an indexed
+// stream, query value windows and byte ranges, and check every byte against
+// the raw values.
+func TestObjectPutGetRange(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	vals := testValues32(20_000)
+	raw := f32LE(vals)
+	up := indexedUpload(t, vals, 3251)
+
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/sim", up, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Pfpl-Values"); got != "20000" {
+		t.Fatalf("X-Pfpl-Values = %q", got)
+	}
+
+	// Decompress the upload through the library for the expected bytes (the
+	// compression is lossy; compare against the decoded stream, not raw).
+	rd := pfpl.NewReader32(bytes.NewReader(up), pfpl.Options{})
+	dec := make([]float32, 0, len(vals))
+	buf := make([]float32, 4096)
+	for {
+		n, err := rd.Read(buf)
+		dec = append(dec, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := f32LE(dec)
+	if len(want) != len(raw) {
+		t.Fatalf("decoded %d bytes, raw %d", len(want), len(raw))
+	}
+
+	t.Run("full", func(t *testing.T) {
+		resp, out := doReq(t, http.MethodGet, ts.URL+"/v1/objects/sim", nil, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET status %d", resp.StatusCode)
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatal("full GET differs from library decode")
+		}
+	})
+	t.Run("window", func(t *testing.T) {
+		for _, w := range [][2]int{{0, 1}, {3250, 3}, {19_999, 1}, {20_000, 0}, {7000, 5000}} {
+			resp, out := doReq(t, http.MethodGet,
+				ts.URL+"/v1/objects/sim?offset="+strconv.Itoa(w[0])+"&count="+strconv.Itoa(w[1]), nil, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("window %v status %d", w, resp.StatusCode)
+			}
+			if !bytes.Equal(out, want[4*w[0]:4*(w[0]+w[1])]) {
+				t.Fatalf("window %v differs", w)
+			}
+		}
+	})
+	t.Run("byte-range", func(t *testing.T) {
+		for _, rng := range []struct {
+			hdr        string
+			start, end int // half-open, in decoded bytes
+		}{
+			{"bytes=0-3", 0, 4},
+			{"bytes=13002-13010", 13002, 13011}, // unaligned both ends
+			{"bytes=79999-", 79999, len(want)},
+			{"bytes=-5", len(want) - 5, len(want)},
+		} {
+			resp, out := doReq(t, http.MethodGet, ts.URL+"/v1/objects/sim", nil,
+				map[string]string{"Range": rng.hdr})
+			if resp.StatusCode != http.StatusPartialContent {
+				t.Fatalf("%s: status %d", rng.hdr, resp.StatusCode)
+			}
+			if cr := resp.Header.Get("Content-Range"); !strings.HasSuffix(cr, "/80000") {
+				t.Fatalf("%s: Content-Range %q", rng.hdr, cr)
+			}
+			if !bytes.Equal(out, want[rng.start:rng.end]) {
+				t.Fatalf("%s: body differs (%d bytes)", rng.hdr, len(out))
+			}
+		}
+	})
+	t.Run("bad-requests", func(t *testing.T) {
+		for url, status := range map[string]int{
+			"/v1/objects/none":                     http.StatusNotFound,
+			"/v1/objects/sim?offset=-1":            http.StatusBadRequest,
+			"/v1/objects/sim?offset=19999&count=2": http.StatusBadRequest,
+			"/v1/objects/sim?offset=x":             http.StatusBadRequest,
+			"/v1/objects/sim?offset=20001&count=0": http.StatusBadRequest,
+			"/v1/objects/sim?count=99999999999":    http.StatusBadRequest,
+		} {
+			if resp, _ := doReq(t, http.MethodGet, ts.URL+url, nil, nil); resp.StatusCode != status {
+				t.Fatalf("%s: status %d, want %d", url, resp.StatusCode, status)
+			}
+		}
+		resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/objects/sim", nil,
+			map[string]string{"Range": "bytes=90000-"})
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("out-of-range Range: status %d", resp.StatusCode)
+		}
+	})
+	t.Run("window-is-not-full-decode", func(t *testing.T) {
+		before := counterValue(t, s, "objects.chunks_decoded")
+		if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/objects/sim?offset=10000&count=10", nil, nil); resp.StatusCode != 200 {
+			t.Fatal("window GET failed")
+		}
+		if got := counterValue(t, s, "objects.chunks_decoded") - before; got > 2 {
+			t.Fatalf("10-value window decoded %d chunks", got)
+		}
+	})
+
+	// DELETE frees the name; the frames stay cached but evictable.
+	resp, _ = doReq(t, http.MethodDelete, ts.URL+"/v1/objects/sim", nil, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/objects/sim", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status %d", resp.StatusCode)
+	}
+}
+
+// TestObjectDedup pins the content-addressing story: uploading the same
+// stream twice interns each frame once, visible as cache.frames.hit in
+// /metrics, and the admission budget is charged once.
+func TestObjectDedup(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	up := indexedUpload(t, testValues32(10_000), 2500)
+
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/a", up, nil); resp.StatusCode != 201 {
+		t.Fatal("first PUT failed")
+	}
+	misses := counterValue(t, s, "cache.frames.miss")
+	if misses != 4 {
+		t.Fatalf("first upload interned %d frames, want 4", misses)
+	}
+	cacheBytes := counterValue(t, s, "cache.bytes")
+	if cacheBytes <= 0 || s.adm.Inflight() != cacheBytes {
+		t.Fatalf("cache holds %d bytes but admission charges %d", cacheBytes, s.adm.Inflight())
+	}
+
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/b", up, nil); resp.StatusCode != 201 {
+		t.Fatal("second PUT failed")
+	}
+	if hits := counterValue(t, s, "cache.frames.hit"); hits != 4 {
+		t.Fatalf("second upload hit %d cached frames, want 4", hits)
+	}
+	if counterValue(t, s, "cache.frames.miss") != misses {
+		t.Fatal("second upload interned new frames")
+	}
+	if got := counterValue(t, s, "cache.bytes"); got != cacheBytes {
+		t.Fatalf("cache bytes grew from %d to %d on a dedup upload", cacheBytes, got)
+	}
+	// The metrics endpoint itself shows the hit counter (acceptance check).
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/metrics", nil, nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"cache.frames.hit": 4`) {
+		t.Fatalf("/metrics does not show the cache hit: %s", body)
+	}
+
+	// Both objects serve after deleting one: frames are refcounted.
+	doReq(t, http.MethodDelete, ts.URL+"/v1/objects/a", nil, nil)
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/objects/b?offset=0&count=4", nil, nil); resp.StatusCode != 200 {
+		t.Fatal("object b broken after deleting a")
+	}
+}
+
+// TestObjectEviction squeezes the budget so orphaned frames are evicted to
+// admit new ones, and pinned frames never are.
+func TestObjectEviction(t *testing.T) {
+	up1 := indexedUpload(t, testValues32(10_000), 2500)
+	vals2 := testValues32(10_000)
+	for i := range vals2 {
+		vals2[i] += 1000 // different content, different digests
+	}
+	up2 := indexedUpload(t, vals2, 2500)
+	// Budget: one upload's frames plus the PUT's transient body reservation.
+	budget := int64(len(up1)) + int64(len(up2)) + 64
+	s, ts := newTestServer(t, Config{MaxInflightBytes: budget})
+
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/a", up1, nil); resp.StatusCode != 201 {
+		t.Fatal("PUT a failed")
+	}
+	// Orphan a's frames, then upload b: the budget forces eviction of a's.
+	doReq(t, http.MethodDelete, ts.URL+"/v1/objects/a", nil, nil)
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/b", up2, nil); resp.StatusCode != 201 {
+		t.Fatal("PUT b failed")
+	}
+	if ev := counterValue(t, s, "cache.frames.evicted"); ev == 0 {
+		t.Fatal("no evictions despite a full budget")
+	}
+	// b still serves; re-uploading up1 misses the cache (its frames are gone).
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/objects/b?offset=0&count=10", nil, nil); resp.StatusCode != 200 {
+		t.Fatal("object b broken after eviction")
+	}
+
+	// With b pinned and the rest of the budget too small, a re-upload of a
+	// is shed with 429 + Retry-After >= 1 rather than evicting pinned frames.
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/c", up1, nil)
+	if resp.StatusCode == http.StatusCreated {
+		t.Skip("budget fit both uploads; eviction already proven above")
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow PUT status %d", resp.StatusCode)
+	}
+	if ra, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err != nil || ra < time.Second {
+		t.Fatalf("Retry-After %q, want >= 1s", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestObjectPutRejects drives the upload validator: non-framed bodies,
+// missing Content-Length, index/frame disagreement, and frames whose
+// container is corrupt.
+func TestObjectPutRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := indexedUpload(t, testValues32(10_000), 2500)
+
+	t.Run("not-framed", func(t *testing.T) {
+		comp, err := pfpl.Compress32(testValues32(100), pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/x", comp, nil); resp.StatusCode != 400 {
+			t.Fatalf("monolithic container accepted: %d", resp.StatusCode)
+		}
+	})
+	t.Run("no-content-length", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/objects/x", nil)
+		req.Body = io.NopCloser(bytes.NewReader(up))
+		req.ContentLength = -1
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusLengthRequired {
+			t.Fatalf("chunked PUT status %d, want 411", resp.StatusCode)
+		}
+	})
+	t.Run("index-disagrees", func(t *testing.T) {
+		// Flip a bit in a frame payload: the index digest no longer matches.
+		bad := bytes.Clone(up)
+		bad[100] ^= 0x01
+		if resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/objects/x", bad, nil); resp.StatusCode != 400 ||
+			!strings.Contains(string(body), "index disagrees") {
+			t.Fatalf("tampered frame accepted: %d %s", resp.StatusCode, body)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/x", up[:len(up)-3], nil); resp.StatusCode != 400 {
+			t.Fatal("truncated stream accepted")
+		}
+	})
+	t.Run("index-less-ok", func(t *testing.T) {
+		// Index-less framed streams are still ingestible — the index is an
+		// integrity upgrade, not a requirement.
+		vals := testValues32(5000)
+		plain := serialFramed32(t, vals, pfpl.ABS, 1e-3, 2500)
+		if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/plain", plain, nil); resp.StatusCode != 201 {
+			t.Fatal("index-less framed stream rejected")
+		}
+		resp, out := doReq(t, http.MethodGet, ts.URL+"/v1/objects/plain?offset=0&count=1", nil, nil)
+		if resp.StatusCode != 200 || len(out) != 4 {
+			t.Fatal("index-less object does not serve windows")
+		}
+	})
+}
+
+// TestObjectCorruptCachedFrame pins the digest re-verification on the read
+// path: a frame corrupted *in the cache* is detected before any byte of it
+// is served.
+func TestObjectCorruptCachedFrame(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	up := indexedUpload(t, testValues32(10_000), 2500)
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/objects/sim", up, nil); resp.StatusCode != 201 {
+		t.Fatal("PUT failed")
+	}
+	// Reach into the cache and corrupt one stored frame.
+	s.frames.mu.Lock()
+	var victim [core.DigestSize]byte
+	for d, e := range s.frames.entries {
+		victim = d
+		e.data[len(e.data)/2] ^= 0x01
+		break
+	}
+	s.frames.mu.Unlock()
+	if victim == ([core.DigestSize]byte{}) {
+		t.Fatal("no cached frames")
+	}
+	resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/objects/sim", nil, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt cached frame served: status %d", resp.StatusCode)
+	}
+}

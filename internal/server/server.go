@@ -99,6 +99,8 @@ type Server struct {
 	slots    chan struct{}
 	reg      *metrics.Registry
 	mux      *http.ServeMux
+	frames   *frameStore
+	objects  *objectStore
 	draining atomic.Bool
 	idBase   string // per-process random prefix for request ids
 	reqSeq   atomic.Uint64
@@ -123,11 +125,17 @@ func New(cfg Config) *Server {
 		reg:   cfg.Metrics,
 		mux:   http.NewServeMux(),
 	}
+	s.frames = newFrameStore(s.adm, s)
+	s.objects = &objectStore{byName: make(map[string]*object)}
 	var seed [4]byte
 	rand.Read(seed[:])
 	s.idBase = hex.EncodeToString(seed[:])
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("PUT /v1/objects/{name}", s.handleObjectPut)
+	s.mux.HandleFunc("GET /v1/objects/{name}", s.handleObjectGet)
+	s.mux.HandleFunc("HEAD /v1/objects/{name}", s.handleObjectGet)
+	s.mux.HandleFunc("DELETE /v1/objects/{name}", s.handleObjectDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -320,8 +328,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, op, mode string, 
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 		default:
 			s.count(op, mode, "saturated")
-			retry := s.adm.RetryAfter(reserve)
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			// retryAfterSeconds clamps to >= 1: RetryAfter floors at a second
+			// today, but a "Retry-After: 0" from a future sub-second estimate
+			// would tell clients to hammer, so the render clamps too.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.RetryAfter(reserve))))
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 		}
 		return nil, false

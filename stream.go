@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"pfpl/internal/core"
 )
 
 // Streaming layer: data is compressed incrementally into a sequence of
@@ -44,6 +46,26 @@ const framePrefix = 4
 // range so a declared length always fits a slice length.
 const maxFrameBytes int64 = 1 << 31
 
+// maxWriteFrameBytes caps the frames the writer will emit: strictly below
+// maxFrameBytes, because readFrame also rejects lengths above the
+// platform's int range and on 32-bit targets that is 2^31-1 — one byte less
+// than the corruption bound. Capping the writer at the portable limit means
+// every frame this library writes is readable on every target it compiles
+// for; the asymmetric cap previously let a 64-bit writer emit a frame of
+// exactly 2^31 bytes that a 32-bit reader rejected as corrupt.
+const maxWriteFrameBytes = maxFrameBytes - 1
+
+// frameLenWritable reports whether the writer may emit a frame of n bytes.
+func frameLenWritable(n int64) bool { return n > 0 && n <= maxWriteFrameBytes }
+
+// frameLenReadable reports whether readFrame accepts a declared frame
+// length of n bytes on this platform. Every writable length must be
+// readable here even when int is 32 bits wide; TestFrameLenCapSymmetry pins
+// that relation without allocating a 2 GB frame.
+func frameLenReadable(n int64) bool {
+	return n > 0 && n <= maxFrameBytes && n <= math.MaxInt
+}
+
 // maxFrameValues caps StreamOptions.FrameValues so a worst-case frame
 // (every chunk stored raw, double precision, plus container overhead)
 // stays below maxFrameBytes on every platform.
@@ -73,6 +95,16 @@ type StreamOptions struct {
 	// server enforces per-request deadlines on streaming requests (see
 	// internal/server).
 	Context context.Context
+	// Index appends a footer index after the last frame on Close: one
+	// record per frame (stream offset, length, chunk and value counts, and
+	// a SHA-256 content digest) plus a fixed-size trailer locating the
+	// table. An indexed stream is still a valid framed stream — sequential
+	// readers recognize the footer and stop cleanly — and additionally
+	// supports random access through OpenIndexed, which seeks straight to
+	// the frames covering a value range instead of scanning from the front.
+	// Off by default: index-less (v1) streams are byte-identical to
+	// previous releases.
+	Index bool
 	// Trace, when non-nil, receives frame-level stage spans from the
 	// pipeline workers: encode (with frame byte sizes), carry-wait (the
 	// in-order emission turn), and emit. It supersedes Options.Trace for
@@ -137,7 +169,7 @@ func NewWriter32(w io.Writer, opts Options, sopts StreamOptions) (*Writer32, err
 	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float32) ([]byte, error) { return Compress32(vals, copts) }
 	sw := &Writer32{}
-	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 4, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 4, sopts.frameValues(), workers, sopts.Index)
 	return sw, nil
 }
 
@@ -181,7 +213,7 @@ func NewWriter64(w io.Writer, opts Options, sopts StreamOptions) (*Writer64, err
 	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float64) ([]byte, error) { return Compress64(vals, copts) }
 	sw := &Writer64{}
-	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 8, sopts.frameValues(), workers)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 8, sopts.frameValues(), workers, sopts.Index)
 	return sw, nil
 }
 
@@ -196,8 +228,8 @@ func (w *Writer64) Write(vals []float64) error { return w.s.write(vals) }
 func (w *Writer64) Close() error { return w.s.close() }
 
 func writeFrame(w io.Writer, comp []byte) error {
-	if int64(len(comp)) > maxFrameBytes {
-		return fmt.Errorf("pfpl: frame of %d bytes exceeds the %d-byte frame limit", len(comp), maxFrameBytes)
+	if !frameLenWritable(int64(len(comp))) {
+		return fmt.Errorf("pfpl: frame of %d bytes exceeds the %d-byte frame limit", len(comp), maxWriteFrameBytes)
 	}
 	var hdr [framePrefix]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
@@ -240,11 +272,18 @@ func readFrame(r io.Reader, buf []byte, idx int, off int64) ([]byte, error) {
 		}
 		return nil, err // io.EOF: clean end of stream
 	}
+	// The footer index of a v2 stream begins with the "PFIX" magic exactly
+	// where a frame length prefix would sit; no writable frame is that
+	// large, so seeing it means the frames are over. A sequential reader
+	// reports a clean end of stream and leaves the footer to OpenIndexed.
+	if binary.LittleEndian.Uint32(hdr[:]) == core.IndexMagicWord {
+		return nil, io.EOF
+	}
 	// The declared length is compared in int64: maxFrameBytes (2^31) does
 	// not fit int on 32-bit targets, and a length above the platform's int
 	// range could not back a slice there either.
 	n := int64(binary.LittleEndian.Uint32(hdr[:]))
-	if n <= 0 || n > maxFrameBytes || n > math.MaxInt {
+	if !frameLenReadable(n) {
 		return nil, frameErr(idx, off, ErrCorrupt)
 	}
 	if int64(cap(buf)) >= n {

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"sync"
 
+	"pfpl/internal/core"
 	"pfpl/internal/cpucomp"
 	"pfpl/internal/obs"
 )
@@ -56,11 +57,19 @@ type framePipe[T any] struct {
 	limit  int
 	frames int32 // next frame index; touched only by submit's caller
 
+	// Footer-index state. Emission turns are serialized by the chain, so
+	// recs and off are only ever touched while a worker holds its turn
+	// (happens-before through the chain's channels); close reads them after
+	// every worker has exited.
+	index bool
+	recs  []core.FrameRecord
+	off   int64 // stream bytes emitted so far
+
 	mu  sync.Mutex
 	err error
 }
 
-func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int) *framePipe[T] {
+func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index bool) *framePipe[T] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -71,6 +80,7 @@ func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx conte
 		rec:   rec,
 		elem:  elem,
 		chain: cpucomp.NewChain(),
+		index: index,
 		// The job queue bounds frames in flight: at most `workers` queued
 		// plus `workers` being compressed, so memory stays proportional to
 		// the concurrency, not the stream length.
@@ -106,6 +116,13 @@ func (p *framePipe[T]) worker(id int) {
 			t = p.rec.StageSpanOutcome(obs.StageEncode, track, j.idx, t,
 				obs.OutcomeCompressed, int64(len(j.vals))*p.elem, int64(len(comp))+framePrefix)
 		}
+		// The index record is assembled before the emission turn so the
+		// SHA-256 runs in parallel across workers; only the append happens
+		// under the turn.
+		var rec core.FrameRecord
+		if p.index && err == nil && comp != nil {
+			rec, err = frameRecordFor(comp)
+		}
 		p.pool.Put(j.vals[:0])
 		<-j.turn
 		t = p.rec.StageSpan(obs.StageCarryWait, track, j.idx, t)
@@ -122,12 +139,46 @@ func (p *framePipe[T]) worker(id int) {
 				if werr := writeFrame(p.dst, comp); werr != nil {
 					p.fail(werr)
 				} else {
+					if p.index {
+						rec.Offset = p.off
+						p.recs = append(p.recs, rec)
+					}
+					p.off += framePrefix + int64(len(comp))
 					p.rec.StageSpan(obs.StageEmit, track, j.idx, t)
 				}
 			}
 		}
 		close(j.done)
 	}
+}
+
+// frameRecordFor builds a frame's footer-index entry from its compressed
+// bytes: the container header supplies the chunk and value counts, and the
+// digest content-addresses the frame for caches and integrity checks.
+func frameRecordFor(comp []byte) (core.FrameRecord, error) {
+	h, err := core.ParseHeader(comp)
+	if err != nil {
+		return core.FrameRecord{}, err
+	}
+	return core.FrameRecord{
+		Length: int64(len(comp)),
+		Chunks: h.NumChunks,
+		Values: int64(h.Count),
+		Digest: core.FrameDigest(comp),
+	}, nil
+}
+
+// writeIndex emits the footer index block and fixed trailer after the last
+// frame. Only called once the workers have drained, so recs and off are
+// settled.
+func (p *framePipe[T]) writeIndex() error {
+	block := core.AppendIndex(nil, p.recs)
+	trailer := core.AppendIndexTrailer(nil, p.off, block)
+	if _, err := p.dst.Write(block); err != nil {
+		return err
+	}
+	_, err := p.dst.Write(trailer)
+	return err
 }
 
 // submit hands one complete frame to the pool, blocking while the pipeline
@@ -180,9 +231,9 @@ type streamWriter[T any] struct {
 	closed bool
 }
 
-func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int) {
+func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index bool) {
 	w.limit = limit
-	w.pipe = newFramePipe(dst, enc, ctx, rec, elem, limit, workers)
+	w.pipe = newFramePipe(dst, enc, ctx, rec, elem, limit, workers, index)
 }
 
 func (w *streamWriter[T]) write(vals []T) error {
@@ -231,6 +282,12 @@ func (w *streamWriter[T]) close() error {
 		// stream suspect: report it so the caller never mistakes a canceled
 		// stream for a complete one.
 		err = w.pipe.ctx.Err()
+	}
+	if err == nil && w.pipe.index {
+		// The footer is only worth writing on a clean stream: a failed or
+		// canceled pipeline leaves a plain truncated frame sequence, which
+		// sequential readers already recover from frame by frame.
+		err = w.pipe.writeIndex()
 	}
 	return err
 }
