@@ -244,7 +244,7 @@ func executorBenchmarks(budget time.Duration) []Result {
 	}
 	for _, d := range devices {
 		dev := d.dev
-		bytesPerOp := int64(len(src) * 4)
+		bytesPerOp := int64(len(src)) * 4
 		ns := measure(budget, func() {
 			if _, err := dev.Compress32(src, pfpl.ABS, 1e-3); err != nil {
 				panic(err)

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	bad := []string{
+		"", ":", "5", "5:", ":5", "a:b", "1:b", "a:2",
+		"-1:5", "1:-5", "1.5:2", "1:2:3", " 1:2", "1: 2",
+		"9999999999999999999999:1", "1:9999999999999999999999",
+	}
+	for _, s := range bad {
+		if _, _, err := parseRange(s); err == nil {
+			t.Errorf("parseRange(%q): want error, got none", s)
+		} else if !strings.Contains(err.Error(), "OFFSET:COUNT") {
+			t.Errorf("parseRange(%q): error %q does not explain the format", s, err)
+		}
+	}
+	good := []struct {
+		in       string
+		off, cnt int64
+	}{
+		{"0:0", 0, 0},
+		{"0:10", 0, 10},
+		{"123:456", 123, 456},
+	}
+	for _, tc := range good {
+		off, cnt, err := parseRange(tc.in)
+		if err != nil {
+			t.Errorf("parseRange(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if off != tc.off || cnt != tc.cnt {
+			t.Errorf("parseRange(%q) = (%d, %d), want (%d, %d)", tc.in, off, cnt, tc.off, tc.cnt)
+		}
+	}
+}
+
+// buildStream compresses a small ramp as a framed stream, with or without
+// the footer index, and returns the compressed file's path.
+func buildStream(t *testing.T, dir string, indexed bool) string {
+	t.Helper()
+	in := filepath.Join(dir, "in.f32")
+	vals := make([]float32, 5000)
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	writeF32(t, in, vals)
+	comp := filepath.Join(dir, "c.pfpls")
+	cfg := cliConfig{mode: "abs", bound: 1e-3, in: in, out: comp,
+		device: "cpu", stream: true, index: indexed}
+	if err := run(cfg); err != nil {
+		t.Fatalf("stream compress (indexed=%v): %v", indexed, err)
+	}
+	return comp
+}
+
+func TestRangeFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	comp := buildStream(t, dir, true)
+	out := filepath.Join(dir, "out.f32")
+
+	// A malformed -range spec must fail before any decoding happens.
+	cfg := cliConfig{decompress: true, rng: "nonsense", in: comp, out: out, device: "cpu"}
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "OFFSET:COUNT") {
+		t.Errorf("malformed -range: got %v, want OFFSET:COUNT complaint", err)
+	}
+
+	// A well-formed -range on an index-less framed stream must point the
+	// user at -index rather than silently decoding the whole stream.
+	noIdx := buildStream(t, t.TempDir(), false)
+	cfg = cliConfig{decompress: true, rng: "0:16", in: noIdx, out: out, device: "cpu"}
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "-index") {
+		t.Errorf("-range on index-less stream: got %v, want a pointer at -index", err)
+	}
+
+	// The happy path through the same flags still works.
+	cfg = cliConfig{decompress: true, rng: "100:16", in: comp, out: out, device: "cpu"}
+	if err := run(cfg); err != nil {
+		t.Fatalf("-range on indexed stream: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16*4 {
+		t.Errorf("-range 100:16 wrote %d bytes, want %d", len(got), 16*4)
+	}
+}
+
+// Decompressing a whole indexed stream must skip the footer cleanly: the
+// index rides after the last frame, where a naive sequential reader would
+// try to parse it as another frame.
+func TestDecompressIndexedStreamSequentially(t *testing.T) {
+	dir := t.TempDir()
+	comp := buildStream(t, dir, true)
+	out := filepath.Join(dir, "out.f32")
+	cfg := cliConfig{decompress: true, in: comp, out: out, device: "cpu"}
+	if err := run(cfg); err != nil {
+		t.Fatalf("sequential decompress of indexed stream: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000*4 {
+		t.Errorf("decoded %d bytes, want %d", len(got), 5000*4)
+	}
+}
+
+func TestStatTruncatedFooter(t *testing.T) {
+	dir := t.TempDir()
+	comp := buildStream(t, dir, true)
+	data, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the trailer: the stream still looks framed and the
+	// frames themselves are intact, but the footer index can no longer be
+	// opened. -stat must report that instead of panicking or succeeding.
+	for _, drop := range []int{1, 8, 23} {
+		trunc := filepath.Join(dir, "trunc.pfpls")
+		if err := os.WriteFile(trunc, data[:len(data)-drop], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := cliConfig{stat: true, in: trunc, device: "cpu"}
+		if err := run(cfg); err == nil {
+			t.Errorf("-stat with %d trailer bytes missing: want error, got none", drop)
+		} else if !strings.Contains(err.Error(), "framed stream") {
+			t.Errorf("-stat with %d trailer bytes missing: error %q does not name the framed stream", drop, err)
+		}
+	}
+}

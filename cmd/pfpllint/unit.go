@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"pfpl/internal/analyzers"
+	"pfpl/internal/analyzers/analysis"
+	"pfpl/internal/analyzers/load"
+)
+
+// vetConfig mirrors the JSON that cmd/go writes to <objdir>/vet.cfg for
+// each package it vets (see GOROOT/src/cmd/go/internal/work/exec.go). The
+// tool is invoked once per package with this file as its only argument,
+// cwd set to the package directory, and must write the VetxOutput facts
+// file on every successful exit — cmd/go stats it to decide whether the
+// tool ran.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitMode analyzes one vet unit. Returns the process exit code: 0 clean,
+// 2 when diagnostics were reported, or an error for operational failures.
+func unitMode(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// pfpllint produces no cross-package facts, but the output file must
+	// exist or cmd/go reports the tool as failed. Write it up front so
+	// every early return below is a valid exit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pfpllint\n"), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only run for a dependency: nothing to compute.
+		return 0, nil
+	}
+	// go vet ships each tested package as its test-augmented variant (the
+	// plain unit is never vetted separately), so the unit must be analyzed
+	// even when it contains _test.go files — skipping it would silently
+	// exempt the shipped code of every package that has tests. Only the
+	// all-test units are out of scope: external _test packages and the
+	// generated ".test" main. Diagnostics landing in _test.go files are
+	// filtered after the run — test corpora legitimately use rand, wall
+	// clocks, and unwrapped errors.
+	if load.AllTestFiles(cfg.GoFiles) || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve from the export data cmd/go already compiled:
+	// ImportMap takes the path as written in source to its canonical
+	// package path (vendoring, "test shadowing"), PackageFile takes the
+	// canonical path to the .a/export file on disk.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    unitSizes(compiler),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info, Sizes: tconf.Sizes}
+	diags, err := analysis.Run(unit, analyzers.All())
+	if err != nil {
+		return 1, err
+	}
+	reported := 0
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		reported++
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if reported > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// unitSizes picks the type sizes for the unit's target architecture.
+// cmd/go doesn't put GOARCH in vet.cfg, but it does pass the build
+// environment through, so the env var set for the `go vet` invocation is
+// the right source of truth.
+func unitSizes(compiler string) types.Sizes {
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	if s := types.SizesFor(compiler, goarch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", runtime.GOARCH)
+}

@@ -1,0 +1,75 @@
+package pfpl
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pfpl/internal/cpucomp"
+	"pfpl/internal/obs"
+	"pfpl/internal/server/metrics"
+)
+
+// The concurrency-bearing types below are shared across goroutines and own
+// synchronization state (mutexes, sync.Once, atomics). Copying any of them
+// by value forks that state — a locked copy, a re-armed Once — which `go
+// vet`'s copylocks only catches when the copy is syntactically visible.
+// This test pins the two disciplines that make accidental copies impossible
+// in the first place: every such type must actually embed lock state
+// (so copylocks has something to see), and must expose no value-receiver
+// methods (a value receiver is itself a copy at every call site).
+func TestLockBearingTypesArePointerDisciplined(t *testing.T) {
+	guarded := []reflect.Type{
+		reflect.TypeOf((*cpucomp.Pool)(nil)).Elem(),
+		reflect.TypeOf((*obs.Recorder)(nil)).Elem(),
+		reflect.TypeOf((*metrics.Registry)(nil)).Elem(),
+		reflect.TypeOf((*metrics.Histogram)(nil)).Elem(),
+	}
+	for _, typ := range guarded {
+		if !containsLockState(typ, nil) {
+			t.Errorf("%v: no lock state found — if its synchronization moved elsewhere, update this guard list", typ)
+		}
+		// Methods promoted to the value type have value receivers; each call
+		// through one copies the receiver, locks and all.
+		if n := typ.NumMethod(); n != 0 {
+			var names []string
+			for i := 0; i < n; i++ {
+				names = append(names, typ.Method(i).Name)
+			}
+			t.Errorf("%v: value-receiver methods %v copy the receiver's lock state at every call — use pointer receivers", typ, names)
+		}
+	}
+}
+
+// containsLockState reports whether typ transitively holds synchronization
+// state: anything whose pointer form is a sync.Locker (Mutex, RWMutex),
+// plus the sync and sync/atomic types that guard state without implementing
+// Locker (Once, WaitGroup, atomic.Int64, ...).
+func containsLockState(typ reflect.Type, seen map[reflect.Type]bool) bool {
+	if seen[typ] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[reflect.Type]bool)
+	}
+	seen[typ] = true
+	lockerType := reflect.TypeOf((*sync.Locker)(nil)).Elem()
+	if reflect.PointerTo(typ).Implements(lockerType) {
+		return true
+	}
+	switch typ.PkgPath() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	switch typ.Kind() {
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			if containsLockState(typ.Field(i).Type, seen) {
+				return true
+			}
+		}
+	case reflect.Array:
+		return containsLockState(typ.Elem(), seen)
+	}
+	return false
+}

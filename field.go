@@ -3,6 +3,7 @@ package pfpl
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Field-level API: scientific data is usually an n-dimensional grid, and
@@ -99,6 +100,9 @@ func wrapField(comp []byte, dims []int) []byte {
 	out = append(out, byte(len(dims)))
 	var b4 [4]byte
 	for _, d := range dims {
+		if d < 0 || int64(d) > math.MaxUint32 {
+			panic("pfpl: field dimension outside the header's uint32 range")
+		}
 		binary.LittleEndian.PutUint32(b4[:], uint32(d))
 		out = append(out, b4[:]...)
 	}

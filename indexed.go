@@ -225,7 +225,7 @@ func (x *Indexed) eachCoveringFrame(offset, count int64, fn func(f int, frameOff
 // corruption of one of them and fails here rather than decoding garbage.
 func (x *Indexed) frameHeader(i int) (core.Header, []byte, int64, int, error) {
 	rec := x.recs[i]
-	hl := int64(core.ContainerHeaderSize + 4*rec.Chunks)
+	hl := int64(core.ContainerHeaderSize) + 4*int64(rec.Chunks)
 	if hl > rec.Length {
 		return core.Header{}, nil, 0, 0, fmt.Errorf("%w: frame %d: index chunk count exceeds frame", ErrCorrupt, i)
 	}
@@ -285,7 +285,7 @@ func decodeFrameWindow[T any](x *Indexed, f int, off, cnt int64, dec chunkDecode
 		elemsPerChunk = core.ChunkWords32
 		scratch = &core.Scratch32{}
 	}
-	n := int64(h.Count)
+	n := int64(h.Len())
 	if off < 0 || cnt <= 0 || off+cnt > n {
 		return nil, fmt.Errorf("%w: frame %d window out of range", ErrCorrupt, f)
 	}
@@ -311,7 +311,7 @@ func decodeFrameWindow[T any](x *Indexed, f int, off, cnt int64, dec chunkDecode
 	out := make([]T, cnt)
 	tmp := make([]T, elemsPerChunk)
 	for c := firstChunk; c <= lastChunk; c++ {
-		lo := int64(c * elemsPerChunk)
+		lo := int64(c) * int64(elemsPerChunk)
 		hi := min(lo+int64(elemsPerChunk), n)
 		dst := tmp[:hi-lo]
 		i := c - firstChunk
@@ -323,7 +323,7 @@ func decodeFrameWindow[T any](x *Indexed, f int, off, cnt int64, dec chunkDecode
 		to := min(hi, off+cnt)
 		copy(out[from-off:to-off], dst[from-lo:to-lo])
 	}
-	x.chunksDecoded.Add(int64(w + 1))
+	x.chunksDecoded.Add(int64(w) + 1)
 	return out, nil
 }
 

@@ -1,0 +1,195 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function over one type-checked package, and a Pass hands it
+// the syntax, type information, and a Report sink. The shape mirrors the
+// upstream API deliberately — the module has no dependencies and the
+// build environment bakes none in, so the pfpllint analyzers carry their
+// own framework; porting them onto x/tools later is a mechanical change
+// of import path.
+//
+// Two pieces are project-specific. Directives: annotations of the form
+// //pfpl:NAME attach machine-readable markers to declarations
+// (//pfpl:hotpath, //pfpl:kernel, //pfpl:deterministic). Suppression: a
+// comment
+//
+//	//pfpl:ignore ANALYZER reason...
+//
+// on a finding's line (or the line immediately above it) drops that
+// analyzer's diagnostics for that line; a missing reason is itself
+// reported, so silent blanket excludes cannot accrete.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant check. Name appears in diagnostics and in
+// //pfpl:ignore directives; Doc is the one-line contract it enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer. Files
+// holds only the non-test syntax: the invariants guard shipped code, and
+// test files legitimately use time, math/rand, and unwrapped errors.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Sizes     types.Sizes
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding. Analyzer is filled in by Run.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Unit is one loadable package: the input shared by every analyzer.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// Run applies the analyzers to the unit, filters the diagnostics through
+// the unit's //pfpl:ignore directives, and returns the survivors sorted
+// by position. Malformed directives (no analyzer name, or no reason) are
+// returned as diagnostics of the pseudo-analyzer "pfpllint".
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ign := newIgnoreIndex(u.Fset, u.Files)
+	var diags []Diagnostic
+	diags = append(diags, ign.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Sizes:     u.Sizes,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				if !ign.ignored(a.Name, u.Fset.Position(d.Pos)) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.Pkg.Path(), err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// HasDirective reports whether the comment group contains the line
+// directive //pfpl:name (exact, no arguments).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//pfpl:" + name
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// FileHasDirective reports whether any comment in the file (not just the
+// package doc — markers may sit above the package clause's license block
+// or on their own line) is the directive //pfpl:name.
+func FileHasDirective(f *ast.File, name string) bool {
+	want := "//pfpl:" + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreIndex maps analyzer name → set of suppressed (file, line) pairs.
+type ignoreIndex struct {
+	lines     map[string]map[string]map[int]bool // analyzer → file → line
+	malformed []Diagnostic
+}
+
+func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{lines: make(map[string]map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, "//pfpl:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "pfpllint",
+						Message:  "malformed //pfpl:ignore: want \"//pfpl:ignore ANALYZER reason...\"",
+					})
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				byFile := ix.lines[fields[0]]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					ix.lines[fields[0]] = byFile
+				}
+				set := byFile[posn.Filename]
+				if set == nil {
+					set = make(map[int]bool)
+					byFile[posn.Filename] = set
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (standalone comment above the construct).
+				set[posn.Line] = true
+				set[posn.Line+1] = true
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *ignoreIndex) ignored(analyzer string, posn token.Position) bool {
+	byFile := ix.lines[analyzer]
+	if byFile == nil {
+		return false
+	}
+	return byFile[posn.Filename][posn.Line]
+}

@@ -1,0 +1,243 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the stdlib
+// only. Fixture layout is GOPATH-style: testdata/src/<importpath>/*.go.
+// A comment
+//
+//	code() // want `regexp` `another`
+//
+// declares that the analyzer must report diagnostics matching each quoted
+// regular expression on that line, and nothing else; files may also use
+// //pfpl:ignore to prove suppression works (an ignored line simply has no
+// want).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, failing the test on any mismatch between diagnostics and
+// want comments. Sizes default to the host architecture.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunGOARCH(t, "", testdata, a, pkgPaths...)
+}
+
+// RunGOARCH is Run with an explicit target architecture for types.Sizes —
+// pass "386" to analyze the fixtures as a 32-bit build would see them
+// (int and uint become 4 bytes wide).
+func RunGOARCH(t *testing.T, goarch string, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	var sizes types.Sizes
+	if goarch != "" {
+		sizes = types.SizesFor("gc", goarch)
+		if sizes == nil {
+			t.Fatalf("unknown GOARCH %q", goarch)
+		}
+	}
+	ld := newLoader(testdata, sizes)
+	for _, path := range pkgPaths {
+		unit, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, unit, path, diags)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+	pos     token.Position
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					key := wantKey{posn.Filename, posn.Line}
+					wants[key] = append(wants[key], &want{re: re, pos: posn})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted, got %q", posn, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", posn, s)
+		}
+		raw := s[:end+2]
+		pat := s[1 : end+1]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", posn, raw, err)
+			}
+			pat = unq
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+func checkWants(t *testing.T, unit *analysis.Unit, pkgPath string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, unit.Fset, unit.Files)
+	for _, d := range diags {
+		posn := unit.Fset.Position(d.Pos)
+		key := wantKey{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q (package %s)", w.pos, w.re.String(), pkgPath)
+			}
+		}
+	}
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// recursively and everything else through the stdlib source importer.
+type loader struct {
+	root  string // testdata dir
+	fset  *token.FileSet
+	sizes types.Sizes
+	std   types.Importer
+	units map[string]*analysis.Unit
+}
+
+func newLoader(testdata string, sizes types.Sizes) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:  testdata,
+		fset:  fset,
+		sizes: sizes,
+		std:   importer.ForCompiler(fset, "source", nil),
+		units: make(map[string]*analysis.Unit),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, "src", path); dirExists(dir) {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(l.root, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l, Sizes: l.sizes}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	sizes := l.sizes
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	u := &analysis.Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Sizes: sizes}
+	l.units[path] = u
+	return u, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// Determinism enforces the product's central promise: compression output
+// is bit-identical across executors, worker counts, and runs. Inside the
+// codec packages (and any package carrying a //pfpl:deterministic marker)
+// it forbids the constructs whose results vary run to run — wall-clock
+// reads, math/rand, environment reads, and iteration over maps, whose
+// order Go randomizes on purpose. Observability code is out of scope by
+// construction: internal/obs owns the clock, and the codec only ever
+// hands it opaque span timestamps.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time, rand, env, and map-order dependence in codec packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgSuffixes lists the packages under the bit-identity
+// contract. A package outside the list opts in with //pfpl:deterministic
+// in any of its files.
+var deterministicPkgSuffixes = []string{
+	"internal/core",
+	"internal/core/ref",
+	"internal/cpucomp",
+	"internal/gpusim",
+}
+
+// deterministicForbidden maps fully qualified function names to the reason
+// they are banned.
+var deterministicForbidden = map[string]string{
+	"time.Now":       "wall-clock read",
+	"time.Since":     "wall-clock read",
+	"time.Until":     "wall-clock read",
+	"time.Tick":      "wall-clock dependence",
+	"time.After":     "wall-clock dependence",
+	"time.AfterFunc": "wall-clock dependence",
+	"os.Getenv":      "environment read",
+	"os.LookupEnv":   "environment read",
+	"os.Environ":     "environment read",
+}
+
+// deterministicForbiddenPkgs are packages banned wholesale.
+var deterministicForbiddenPkgs = map[string]string{
+	"math/rand":    "nondeterministic (or seed-dependent) source",
+	"math/rand/v2": "nondeterministic (or seed-dependent) source",
+}
+
+func deterministicScope(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	for _, suf := range deterministicPkgSuffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.FileHasDirective(f, "deterministic") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !deterministicScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := deterministicForbiddenPkgs[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: %s breaks bit-identical output",
+					path, pass.Pkg.Path(), why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.TypesInfo, n); fn != nil {
+					if why, bad := deterministicForbidden[fn.FullName()]; bad {
+						pass.Reportf(n.Pos(), "call to %s in deterministic package %s: %s makes output run-dependent",
+							fn.FullName(), pass.Pkg.Path(), why)
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map in deterministic package %s: iteration order is randomized — iterate a sorted key slice instead",
+							pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// ErrChain keeps errors.Is(err, ErrCorrupt) working across every rewrap.
+// The decode and read paths classify failures by sentinel — readers map
+// ErrCorrupt to HTTP 422s, retry loops match ErrSaturated — and a single
+// fmt.Errorf("...: %v", err) silently severs that chain. The analyzer
+// flags any fmt.Errorf call that formats more error values than it wraps:
+// each error argument needs a %w verb (or an errors.Join) so the chain
+// survives. Deliberate chain breaks — hiding an internal error behind a
+// stable message — take a //pfpl:ignore errchain with the reason.
+var ErrChain = &analysis.Analyzer{
+	Name: "errchain",
+	Doc:  "require %w when fmt.Errorf formats an error, so errors.Is chains survive rewrapping",
+	Run:  runErrChain,
+}
+
+func runErrChain(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic format: nothing to prove
+			}
+			wants := countWrapVerbs(constant.StringVal(tv.Value))
+			errs := 0
+			var firstErr ast.Expr
+			for _, arg := range call.Args[1:] {
+				if at, ok := pass.TypesInfo.Types[arg]; ok && isErrorType(at.Type) {
+					if firstErr == nil {
+						firstErr = arg
+					}
+					errs++
+				}
+			}
+			if errs > wants {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf formats %d error value(s) but wraps %d: %q loses the sentinel chain — use %%w per error (or errors.Join) so errors.Is keeps matching",
+					errs, wants, constant.StringVal(tv.Value))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// countWrapVerbs counts %w verbs in a fmt format string, skipping %%.
+func countWrapVerbs(format string) int {
+	count := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, and argument indexes up to the verb.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				if c == 'w' {
+					count++
+				}
+				break
+			}
+			i++
+		}
+	}
+	return count
+}

@@ -1,0 +1,233 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// HotPath turns the runtime zero-allocation benchmark guards into a
+// compile-time contract. A function whose doc comment carries
+//
+//	//pfpl:hotpath
+//
+// (the chunk codecs, the SWAR kernels, the pipeline emit path) must not
+// contain constructs that allocate on every execution: make/new, append
+// to a function-local nil slice, slice or map literals, closures,
+// go/defer statements, fmt/reflect calls, string concatenation or
+// string↔[]byte conversions, and implicit interface boxing of concrete
+// values (the allocation the benchmarks catch only when tracing happens
+// to be off). Appends into caller-provided buffers are allowed — capacity
+// management is the caller's contract, and the benchmark guards pin it.
+var HotPath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //pfpl:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) error {
+	funcDocs(pass, func(fd *ast.FuncDecl) {
+		if !analysis.HasDirective(fd.Doc, "hotpath") || fd.Body == nil {
+			return
+		}
+		checkHotBody(pass, fd)
+	})
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	nilSlices := localNilSlices(pass, fd.Body)
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //pfpl:hotpath %s allocates a goroutine per execution", fd.Name.Name)
+		case *ast.FuncLit:
+			// Report the closure itself; its body is a different function
+			// (and checking its returns against the outer signature would
+			// be wrong), so don't descend.
+			pass.Reportf(n.Pos(), "closure in //pfpl:hotpath %s may allocate (captured variables escape)", fd.Name.Name)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //pfpl:hotpath %s allocates and costs a call per execution", fd.Name.Name)
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in //pfpl:hotpath %s allocates — use a caller-provided or scratch buffer", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in //pfpl:hotpath %s allocates", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation in //pfpl:hotpath %s allocates", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkBoxingAssign(pass, fd, n)
+		case *ast.ReturnStmt:
+			checkBoxingReturn(pass, fd, sig, n)
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, nilSlices)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, nilSlices map[types.Object]bool) {
+	switch builtinName(pass.TypesInfo, call) {
+	case "make":
+		pass.Reportf(call.Pos(), "make in //pfpl:hotpath %s allocates — preallocate in scratch or at the caller", fd.Name.Name)
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new in //pfpl:hotpath %s allocates", fd.Name.Name)
+		return
+	case "append":
+		if len(call.Args) > 0 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && nilSlices[obj] {
+					pass.Reportf(call.Pos(), "append to function-local nil slice %s in //pfpl:hotpath %s must allocate — appends are only allowed into caller-managed buffers", id.Name, fd.Name.Name)
+				}
+			}
+		}
+		return
+	case "":
+	default:
+		return // len, cap, copy, clear, min, max: allocation-free
+	}
+
+	if target, operand, ok := conversion(pass.TypesInfo, call); ok {
+		checkHotConversion(pass, fd, call, target, operand)
+		return
+	}
+
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "reflect":
+			pass.Reportf(call.Pos(), "call to %s in //pfpl:hotpath %s allocates (and boxes every operand)", fn.FullName(), fd.Name.Name)
+			return
+		}
+	}
+
+	// Implicit interface boxing at the call boundary.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument %s boxes a concrete value into %s in //pfpl:hotpath %s — interface conversion allocates",
+				types.ExprString(arg), pt.String(), fd.Name.Name)
+		}
+	}
+}
+
+func checkHotConversion(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, target types.Type, operand ast.Expr) {
+	if boxes(pass, target, operand) {
+		pass.Reportf(call.Pos(), "conversion to interface %s in //pfpl:hotpath %s boxes (allocates)", target.String(), fd.Name.Name)
+		return
+	}
+	ot := pass.TypesInfo.Types[operand].Type
+	if ot == nil {
+		return
+	}
+	tStr := isStringType(target)
+	oStr := isStringType(ot)
+	_, tSlice := target.Underlying().(*types.Slice)
+	_, oSlice := ot.Underlying().(*types.Slice)
+	if (tStr && oSlice) || (oStr && tSlice) {
+		pass.Reportf(call.Pos(), "string/slice conversion in //pfpl:hotpath %s copies and allocates", fd.Name.Name)
+	}
+}
+
+func checkBoxingAssign(pass *analysis.Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt, ok := pass.TypesInfo.Types[lhs]
+		if !ok {
+			// := defines a new variable; its type is inferred, never boxed.
+			continue
+		}
+		if boxes(pass, lt.Type, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "assignment boxes a concrete value into %s in //pfpl:hotpath %s", lt.Type.String(), fd.Name.Name)
+		}
+	}
+}
+
+func checkBoxingReturn(pass *analysis.Pass, fd *ast.FuncDecl, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return: named results were assigned elsewhere
+	}
+	for i, res := range ret.Results {
+		if boxes(pass, sig.Results().At(i).Type(), res) {
+			pass.Reportf(res.Pos(), "return boxes a concrete value into %s in //pfpl:hotpath %s", sig.Results().At(i).Type().String(), fd.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type dst performs an
+// interface conversion of a concrete value — the hidden allocation.
+func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
+	if !isInterface(dst) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// localNilSlices returns the objects of slice variables declared inside
+// body with no initial value (or an explicit nil) — a subsequent append
+// to one must allocate its backing array.
+func localNilSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok || len(spec.Values) != 0 {
+			return true
+		}
+		for _, name := range spec.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

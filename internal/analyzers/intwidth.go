@@ -1,0 +1,262 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// IntWidth targets the codec's most-shipped bug class: length, offset, and
+// byte-count arithmetic done in a narrow integer type and only then
+// widened (the PR 1 DecompressRange validation hole and the PR 2
+// maxFrameBytes 32-bit overflow), and 64-to-narrow conversions with no
+// bounds check in sight (the PR 6 writer/reader 2^31 frame-cap
+// asymmetry). Two rules:
+//
+//  1. widen-after-overflow: int64(a+b), int64(a*b), int64(a<<b) where the
+//     operands are narrower than 64 bits. The multiplication has already
+//     wrapped by the time the conversion runs; write int64(a)*int64(b).
+//  2. unguarded narrowing: a 64-bit value (int64, uint64, or int/uint on a
+//     64-bit target) converted to a type that cannot hold it — int64→int
+//     and int64→int32 truncation, uint64→int64 sign flips — with no
+//     comparison on the converted expression anywhere in the function. A
+//     bounds check mentioning the expression, an operand that provably
+//     fits (masked or shifted into range, e.g. int(x>>52&0x7FF)), or a
+//     //pfpl:ignore intwidth with a reason satisfies the analyzer.
+//
+// Both rules size types through the target architecture (types.Sizes), so
+// `int` arithmetic is flagged under GOARCH=386, where int is 32 bits —
+// run the analyzer on a 32-bit target to see what the 32-bit builds see.
+// Conversions to byte and int16 are exempt: byte-granular truncation is
+// the codec's bread and butter.
+var IntWidth = &analysis.Analyzer{
+	Name: "intwidth",
+	Doc:  "flag narrow-width length/offset arithmetic and unguarded 64→narrow conversions",
+	Run:  runIntWidth,
+}
+
+func runIntWidth(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guards := collectGuards(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				target, operand, ok := conversion(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				checkConversion(pass, guards, call, target, operand)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkConversion(pass *analysis.Pass, guards *guardSet, call *ast.CallExpr, target types.Type, operand ast.Expr) {
+	tb, ob := intBasic(target), intBasic(pass.TypesInfo.Types[operand].Type)
+	if tb == nil || ob == nil {
+		return
+	}
+	if pass.TypesInfo.Types[operand].Value != nil {
+		return // constant-folded: the compiler rejects out-of-range values
+	}
+	tsz, osz := pass.Sizes.Sizeof(tb), pass.Sizes.Sizeof(ob)
+
+	// Rule 1: arithmetic narrower than the target it is widened into.
+	if tsz == 8 && osz < 8 {
+		if bin, ok := ast.Unparen(operand).(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.SHL:
+				pass.Reportf(call.Pos(),
+					"%d-bit arithmetic (%s) widened to %s: the %s overflows before the conversion — widen the operands first (the DecompressRange/maxFrameBytes bug class)",
+					osz*8, types.ExprString(bin), tb.Name(), bin.Op)
+			}
+		}
+		return
+	}
+
+	// Rule 2 applies to 64-bit operands only: that is where the shipped
+	// bugs lived (int64 counts and offsets folded into int on 386, uint64
+	// header fields folded into int64), and where a silent wrap loses real
+	// information rather than deliberately slicing bits.
+	if osz != 8 {
+		return
+	}
+	narrowing := tsz < osz && tsz >= 4
+	signFlip := tsz == osz && ob.Info()&types.IsUnsigned != 0 && tb.Info()&types.IsUnsigned == 0
+	if !narrowing && !signFlip {
+		return
+	}
+	if bound, ok := upperBound(pass.TypesInfo, ast.Unparen(operand)); ok && bound <= targetMax(tb, tsz) {
+		return // provably nonnegative and in range: masked or shifted to fit
+	}
+	if guards.covers(operand) {
+		return
+	}
+	what := "truncates"
+	if signFlip {
+		what = "flips the sign of"
+	}
+	pass.Reportf(call.Pos(),
+		"conversion %s(%s) %s large values with no bounds check in this function: guard the range first or annotate why it cannot exceed %s (the 2^31 frame-cap bug class)",
+		tb.Name(), types.ExprString(operand), what, tb.Name())
+}
+
+// targetMax is the largest value representable in the target type.
+func targetMax(tb *types.Basic, tsz int64) uint64 {
+	bits := tsz * 8
+	if tb.Info()&types.IsUnsigned == 0 {
+		bits--
+	}
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+// upperBound computes a conservative upper bound for expr, valid only when
+// the expression is also provably nonnegative. It understands the codec's
+// bit-slicing idioms — `x & mask` is bounded by the mask, `x >> k` by the
+// operand's width, `x % m` by the modulus — and falls back to the type's
+// maximum for unsigned expressions. ok is false when the value may be
+// negative or no bound better than "anything" is known.
+func upperBound(info *types.Info, e ast.Expr) (bound uint64, ok bool) {
+	e = ast.Unparen(e)
+	if tv, found := info.Types[e]; found && tv.Value != nil {
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+			return v, true
+		}
+		return 0, false
+	}
+	if bin, isBin := e.(*ast.BinaryExpr); isBin {
+		switch bin.Op {
+		case token.AND:
+			// x & y is within [0, min(bx, by)] as soon as either side is
+			// provably nonnegative and bounded — two's complement AND with
+			// a nonnegative value cannot produce a negative result.
+			bx, okx := upperBound(info, bin.X)
+			by, oky := upperBound(info, bin.Y)
+			switch {
+			case okx && oky:
+				return min(bx, by), true
+			case okx:
+				return bx, true
+			case oky:
+				return by, true
+			}
+			return 0, false
+		case token.SHR:
+			bx, okx := upperBound(info, bin.X)
+			k, okk := constShift(info, bin.Y)
+			if okx && okk {
+				if k >= 64 {
+					return 0, true
+				}
+				return bx >> k, true
+			}
+			return 0, false
+		case token.REM:
+			if m, okm := constShift(info, bin.Y); okm && m > 0 {
+				if _, okx := upperBound(info, bin.X); okx {
+					return m - 1, true
+				}
+			}
+			return 0, false
+		}
+		return 0, false
+	}
+	// Base case: an unsigned expression is nonnegative and bounded by its
+	// type's width. Signed expressions have no usable bound (they may be
+	// negative), which is exactly what the guard or annotation must rule
+	// out.
+	if tv, found := info.Types[e]; found {
+		if b := intBasic(tv.Type); b != nil && b.Info()&types.IsUnsigned != 0 {
+			// Unsigned types are 1-8 bytes; StdSizes handles them all.
+			sz := (&types.StdSizes{WordSize: 8, MaxAlign: 8}).Sizeof(b)
+			if sz >= 8 {
+				return ^uint64(0), true
+			}
+			return 1<<(uint(sz)*8) - 1, true
+		}
+	}
+	return 0, false
+}
+
+// constShift extracts a nonnegative constant value (shift amount, modulus).
+func constShift(info *types.Info, e ast.Expr) (uint64, bool) {
+	tv, found := info.Types[ast.Unparen(e)]
+	if !found || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+// A guardSet records every expression compared against something in the
+// enclosing function. The heuristic is deliberately coarse — a comparison
+// anywhere in the function counts — because the analyzer's job is to make
+// the author write the check (or the annotation), not to prove dominance.
+type guardSet struct {
+	exprs  map[string]bool // rendered comparison operands
+	idents map[string]bool // identifiers appearing inside comparisons
+}
+
+func collectGuards(body *ast.BlockStmt) *guardSet {
+	g := &guardSet{exprs: make(map[string]bool), idents: make(map[string]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				g.exprs[types.ExprString(ast.Unparen(side))] = true
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						g.idents[id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return g
+}
+
+func (g *guardSet) covers(operand ast.Expr) bool {
+	operand = ast.Unparen(operand)
+	if g.exprs[types.ExprString(operand)] {
+		return true
+	}
+	if id, ok := operand.(*ast.Ident); ok {
+		return g.idents[id.Name]
+	}
+	// Composite operands: guarded if every identifier mentioned in the
+	// operand appears in some comparison (e.g. `int(off + n)` after
+	// separate checks on off and n).
+	all := true
+	any := false
+	ast.Inspect(operand, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			any = true
+			if !g.idents[id.Name] {
+				all = false
+			}
+		}
+		return true
+	})
+	return any && all
+}

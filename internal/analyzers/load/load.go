@@ -1,0 +1,204 @@
+// Package load type-checks the packages of the current module for the
+// standalone pfpllint driver. It shells out to `go list` for file lists
+// and the import graph, parses with go/parser, and type-checks with
+// go/types, resolving module-local imports from its own cache and
+// everything else through the stdlib source importer. The loader honors
+// GOOS/GOARCH from the environment (both in `go list` file selection and
+// in the types.Sizes handed to analyzers), so
+//
+//	GOARCH=386 pfpllint ./...
+//
+// analyzes the tree exactly as a 32-bit build would compile it.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Targets loads the packages matching the patterns (plus their
+// module-local dependencies, which are type-checked but not returned) and
+// returns one Unit per matched package, in `go list` order.
+func Targets(dir string, patterns []string) ([]*analysis.Unit, error) {
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	sizes := types.SizesFor("gc", goarch)
+	if sizes == nil {
+		return nil, fmt.Errorf("unsupported GOARCH %q", goarch)
+	}
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		pkgs:  make(map[string]*listPackage),
+		units: make(map[string]*analysis.Unit),
+		sizes: sizes,
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, p := range deps {
+		if !p.Standard {
+			ld.pkgs[p.ImportPath] = p
+		}
+	}
+	var units []*analysis.Unit
+	for _, p := range targets {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		u, err := ld.load(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func goList(dir string, patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+type loader struct {
+	fset  *token.FileSet
+	pkgs  map[string]*listPackage
+	units map[string]*analysis.Unit
+	std   types.Importer
+	sizes types.Sizes
+	stack []string // cycle detection
+}
+
+// Import implements types.Importer over the module graph + stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.pkgs[path]; ok {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not in module graph", path)
+	}
+	if p.Error != nil {
+		return nil, fmt.Errorf("go list %s: %s", path, p.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l, Sizes: l.sizes}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	u := &analysis.Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Sizes: l.sizes}
+	l.units[path] = u
+	return u, nil
+}
+
+// AllTestFiles reports whether every file in the list is a _test.go file —
+// the signal that a vet unit is an external test package, which pfpllint
+// skips entirely: the invariants guard shipped code, and test corpora
+// legitimately use rand, wall clocks, and unwrapped errors.
+func AllTestFiles(goFiles []string) bool {
+	for _, f := range goFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			return false
+		}
+	}
+	return len(goFiles) > 0
+}

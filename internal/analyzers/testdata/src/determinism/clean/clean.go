@@ -1,0 +1,8 @@
+// Package clean is outside the determinism scope: no marker, no matching
+// path suffix. Wall-clock use here is fine (observability code does it).
+package clean
+
+import "time"
+
+// Now is unflagged: this package made no determinism promise.
+func Now() time.Time { return time.Now() }

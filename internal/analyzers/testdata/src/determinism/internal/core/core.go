@@ -1,0 +1,10 @@
+// Package core is scoped by its import path suffix (internal/core), with
+// no marker directive needed.
+package core
+
+import "math/rand" // want `import of math/rand in deterministic package`
+
+// Jitter is a seeded violation: rand-dependent output.
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,47 @@
+// Package marked opts into the determinism contract via directive.
+//
+//pfpl:deterministic
+package marked
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp is a seeded violation: wall-clock output.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in deterministic package .* wall-clock read`
+}
+
+// Elapsed is a seeded violation through time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since`
+}
+
+// FromEnv is a seeded violation: environment-dependent behavior.
+func FromEnv() string {
+	return os.Getenv("MODE") // want `call to os.Getenv`
+}
+
+// Allowed shows the escape hatch: a documented, annotated env read.
+func Allowed() string {
+	return os.Getenv("PFPL_REF_KERNELS") //pfpl:ignore determinism output is bit-identical under either kernel set
+}
+
+// SumWeights is a seeded violation: map iteration order leaks into output.
+func SumWeights(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// SumSlice is fine: slice iteration is ordered.
+func SumSlice(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+// Package a seeds errchain violations on a decode-shaped path.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel the read path classifies failures by.
+var ErrCorrupt = errors.New("a: corrupt stream")
+
+// DecodeFrame reproduces the shipped bug class: the sentinel is rewrapped
+// with %v, so errors.Is(err, ErrCorrupt) stops matching one level up.
+func DecodeFrame(i int) error {
+	return fmt.Errorf("frame %d: %v", i, ErrCorrupt) // want `fmt\.Errorf formats 1 error value\(s\) but wraps 0`
+}
+
+// DecodeFrameWrapped is the fixed form.
+func DecodeFrameWrapped(i int) error {
+	return fmt.Errorf("frame %d: %w", i, ErrCorrupt)
+}
+
+// Rewrap loses a callee error through %v.
+func Rewrap(err error) error {
+	return fmt.Errorf("reading footer: %v", err) // want `formats 1 error value\(s\) but wraps 0`
+}
+
+// RewrapString hides the error entirely; the analyzer still wants %w.
+func RewrapString(err error) error {
+	return fmt.Errorf("reading footer: %s", err) // want `formats 1 error value\(s\) but wraps 0`
+}
+
+// TwoErrorsOneWrap keeps one chain and severs the other.
+func TwoErrorsOneWrap(a, b error) error {
+	return fmt.Errorf("both failed: %w; %v", a, b) // want `formats 2 error value\(s\) but wraps 1`
+}
+
+// JoinBoth is a fine alternative to multiple %w verbs.
+func JoinBoth(a, b error) error {
+	return errors.Join(a, b)
+}
+
+// Deliberate hides an internal error behind a stable message, annotated.
+func Deliberate(err error) error {
+	return fmt.Errorf("internal failure: %v", err) //pfpl:ignore errchain the raw cause is logged; the API promises a stable opaque message
+}
+
+// NoErrorArgs formats plain values: nothing to wrap.
+func NoErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// DynamicFormat cannot be proven either way: skipped.
+func DynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// EscapedPercent must not count %%w as a wrap verb.
+func EscapedPercent(err error) error {
+	return fmt.Errorf("100%% lost: %v", err) // want `formats 1 error value\(s\) but wraps 0`
+}

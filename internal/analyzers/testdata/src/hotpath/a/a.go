@@ -1,0 +1,118 @@
+// Package a seeds hotpath violations: annotated functions must stay
+// allocation-free.
+package a
+
+import "fmt"
+
+// record stands in for an obs span sink.
+func record(label string, v int64) { _, _ = label, v }
+
+// sink stands in for an interface-taking API.
+func sink(v interface{}) { _ = v }
+
+// EncodeChunk is the well-behaved shape: scratch in, appends into the
+// caller's buffer, concrete calls only.
+//
+//pfpl:hotpath
+func EncodeChunk(src []byte, out []byte) []byte {
+	for _, b := range src {
+		if b != 0 {
+			out = append(out, b)
+		}
+	}
+	record("encode", int64(len(out)))
+	return out
+}
+
+// MakesBuffer allocates a fresh buffer per call.
+//
+//pfpl:hotpath
+func MakesBuffer(n int) []byte {
+	buf := make([]byte, n) // want `make in //pfpl:hotpath MakesBuffer allocates`
+	return buf
+}
+
+// GrowsLocal appends into a function-local nil slice: the backing array
+// is allocated on every execution.
+//
+//pfpl:hotpath
+func GrowsLocal(src []byte) int {
+	var hits []int
+	for i, b := range src {
+		if b != 0 {
+			hits = append(hits, i) // want `append to function-local nil slice hits`
+		}
+	}
+	return len(hits)
+}
+
+// Formats calls fmt in the hot loop.
+//
+//pfpl:hotpath
+func Formats(n int) string {
+	return fmt.Sprintf("chunk %d", n) // want `call to fmt\.Sprintf in //pfpl:hotpath Formats allocates`
+}
+
+// Boxes passes a concrete int through an interface parameter.
+//
+//pfpl:hotpath
+func Boxes(n int) {
+	sink(n) // want `argument n boxes a concrete value into interface\{\}`
+}
+
+// PassesInterface forwards an already-boxed value: no new allocation.
+//
+//pfpl:hotpath
+func PassesInterface(v interface{}) {
+	sink(v)
+}
+
+// Closes builds a closure per call.
+//
+//pfpl:hotpath
+func Closes(n int) func() int {
+	return func() int { return n } // want `closure in //pfpl:hotpath Closes may allocate`
+}
+
+// Defers pays a defer in the hot loop.
+//
+//pfpl:hotpath
+func Defers(release func()) {
+	defer release() // want `defer in //pfpl:hotpath Defers allocates`
+}
+
+// Concats builds a string per call.
+//
+//pfpl:hotpath
+func Concats(a, b string) string {
+	return a + b // want `string concatenation in //pfpl:hotpath Concats allocates`
+}
+
+// SliceLit allocates a literal per call.
+//
+//pfpl:hotpath
+func SliceLit(a, b int) []int {
+	return []int{a, b} // want `slice literal in //pfpl:hotpath SliceLit allocates`
+}
+
+// StringsBytes copies per call.
+//
+//pfpl:hotpath
+func StringsBytes(b []byte) string {
+	return string(b) // want `string/slice conversion in //pfpl:hotpath StringsBytes copies and allocates`
+}
+
+// Annotated keeps a deliberate cold-branch allocation with a reason.
+//
+//pfpl:hotpath
+func Annotated(n int, grow bool) []byte {
+	if grow {
+		return make([]byte, n) //pfpl:ignore hotpath cold error branch, taken once per stream
+	}
+	return nil
+}
+
+// Unmarked allocates freely: no directive, no contract.
+func Unmarked(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,88 @@
+// Package a exercises the architecture-independent intwidth rules.
+package a
+
+// WidenAfterMul reproduces the chunk-offset bug class: the 32-bit product
+// wraps before the widening conversion runs.
+func WidenAfterMul(chunk int32, size int32) int64 {
+	return int64(chunk * size) // want `32-bit arithmetic \(chunk \* size\) widened to int64`
+}
+
+// WidenAfterAdd is the additive form.
+func WidenAfterAdd(off uint32, n uint32) uint64 {
+	return uint64(off + n) // want `32-bit arithmetic \(off \+ n\) widened to uint64`
+}
+
+// WidenShift wraps before widening too.
+func WidenShift(n int32) int64 {
+	return int64(n << 8) // want `32-bit arithmetic \(n << 8\) widened to int64`
+}
+
+// WidenedOperands is the correct form: no finding.
+func WidenedOperands(chunk int32, size int32) int64 {
+	return int64(chunk) * int64(size)
+}
+
+// ConstWiden is constant-folded; the compiler checks the range.
+func ConstWiden() int64 {
+	const a, b = 1 << 20, 1 << 12
+	return int64(a * b)
+}
+
+// NarrowUnguarded drops the top 32 bits of a count with no check anywhere.
+func NarrowUnguarded(count int64) int32 {
+	return int32(count) // want `conversion int32\(count\) truncates large values with no bounds check`
+}
+
+// NarrowGuarded has a visible bounds check on the converted expression.
+func NarrowGuarded(count int64) int32 {
+	if count > 1<<31-1 {
+		return 0
+	}
+	return int32(count)
+}
+
+// NarrowAnnotated documents why the range is safe.
+func NarrowAnnotated(count int64) int32 {
+	return int32(count) //pfpl:ignore intwidth count is a chunk index, bounded by MaxChunks
+}
+
+// SignFlip converts a same-width unsigned value into a signed type:
+// values with the top bit set go negative.
+func SignFlip(word uint64) int64 {
+	return int64(word) // want `conversion int64\(word\) flips the sign of large values`
+}
+
+// ByteTruncation is the codec's intentional idiom: exempt.
+func ByteTruncation(w uint64) byte {
+	return byte(w >> 56)
+}
+
+// MaskedFits slices 11 bits out of a word: the bound analysis proves the
+// result fits any target of 4+ bytes, so no guard is needed.
+func MaskedFits(bits uint64) int {
+	return int(bits >> 52 & 0x7FF)
+}
+
+// ShiftFits halves the domain: a uint64 shifted right once fits int64.
+func ShiftFits(q uint64) int64 {
+	return int64(q >> 1)
+}
+
+// MaskedTooWide masks to 32 bits, which still overflows int32.
+func MaskedTooWide(w uint64) int32 {
+	return int32(w & 0xFFFFFFFF) // want `conversion int32\(w & 0xFFFFFFFF\) truncates large values`
+}
+
+// NarrowSmallOperand is out of scope: the operand is 32-bit, so this is
+// deliberate bit-slicing, not a lost 64-bit count.
+func NarrowSmallOperand(x uint32) int32 {
+	return int32(x)
+}
+
+// GuardedComposite narrows a sum whose parts are each bounds-checked.
+func GuardedComposite(body int64, n int64, limit int64) int {
+	if body < 0 || n < 0 || body+n > limit {
+		return 0
+	}
+	return int(body + n)
+}

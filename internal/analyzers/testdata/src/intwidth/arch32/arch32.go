@@ -1,0 +1,37 @@
+// Package arch32 holds findings that only exist when int is 32 bits wide
+// (GOARCH=386); the test runs this fixture with 32-bit type sizes. On a
+// 64-bit host every one of these is silent — exactly why CI must run the
+// analyzer on a 32-bit target.
+package arch32
+
+// ByteLen reproduces the maxFrameBytes class: on 386, n*4 is 32-bit
+// arithmetic and wraps for n >= 2^29 before the widening.
+func ByteLen(n int) int64 {
+	return int64(n * 4) // want `32-bit arithmetic \(n \* 4\) widened to int64`
+}
+
+// readerFrameCap is the reader's frame-size limit, an int64 on every
+// architecture (typed constant conversion: no finding on the declaration).
+var readerFrameCap = int64(1 << 31)
+
+// WriterCap reproduces the PR 6 writer/reader frame-cap asymmetry: the
+// writer folded the reader's 2^31 cap into int, which holds on amd64 and
+// overflows on 386 — the two sides of the wire disagreed only on 32-bit
+// builds.
+func WriterCap() int {
+	return int(readerFrameCap) // want `conversion int\(readerFrameCap\) truncates large values with no bounds check`
+}
+
+// OffsetFromWord reproduces the frame-walk form: a 64-bit length word from
+// the wire folded into int truncates on 386 for frames >= 2 GiB.
+func OffsetFromWord(word uint64) int {
+	return int(word) // want `conversion int\(word\) truncates large values`
+}
+
+// OffsetGuarded is the fixed form: check against the reader cap first.
+func OffsetGuarded(word uint64) int {
+	if word >= uint64(readerFrameCap) {
+		return 0
+	}
+	return int(word)
+}

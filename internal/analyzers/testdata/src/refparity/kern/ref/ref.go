@@ -1,0 +1,15 @@
+// Package ref is the scalar reference for kern.
+package ref
+
+// DeltaForward matches the kernel's signature.
+func DeltaForward(a []uint32) {
+	for i := len(a) - 1; i > 0; i-- {
+		a[i] -= a[i-1]
+	}
+}
+
+// Encode drifted: it grew a scratch parameter the kernel doesn't have.
+func Encode(data []byte, out []byte, scratch []byte) []byte {
+	_ = scratch
+	return append(out, data...)
+}

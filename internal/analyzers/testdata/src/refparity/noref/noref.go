@@ -1,0 +1,8 @@
+// Package noref declares a kernel but has no scalar-reference sibling
+// package at all.
+package noref
+
+// Quantize is a seeded violation: nothing to differentially test against.
+//
+//pfpl:kernel
+func Quantize(a []float32) {} // want `package refparity/noref does not import its scalar reference refparity/noref/ref`

@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pfpl/internal/analyzers/analysis"
+)
+
+// calleeFunc resolves the static callee of a call expression, or nil for
+// calls through function values, builtins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// conversion reports whether call is a type conversion T(x), returning the
+// target type and operand.
+func conversion(info *types.Info, call *ast.CallExpr) (types.Type, ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, nil, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, nil, false
+	}
+	return tv.Type, call.Args[0], true
+}
+
+// isInterface reports whether t is an interface type, excluding type
+// parameters (whose underlying is an interface but whose values are
+// concrete at instantiation — assigning to one does not box).
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// intBasic returns the basic integer type of t (following named types), or
+// nil if t is not a fixed integer type. uintptr counts; booleans, floats,
+// and untyped constants do not.
+func intBasic(t types.Type) *types.Basic {
+	if t == nil {
+		return nil
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	if b.Info()&types.IsInteger == 0 || b.Info()&types.IsUntyped != 0 {
+		return nil
+	}
+	return b
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+// funcDocs walks every function declaration in the pass (methods included)
+// and calls fn with its doc comment.
+func funcDocs(pass *analysis.Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// sigString renders a function signature with package qualifiers stripped,
+// so structurally identical signatures compare equal across packages.
+func sigString(sig *types.Signature) string {
+	return types.TypeString(sig, func(*types.Package) string { return "" })
+}

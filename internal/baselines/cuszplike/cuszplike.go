@@ -58,6 +58,7 @@ func prequant(v float64, recip float64) int32 {
 	default:
 		q = int64(f - 0.5)
 	}
+	//pfpl:ignore intwidth deliberate wrap: modeling cuSZp's quantizer overflow is the point
 	return int32(q) // wraps on overflow: the cuSZp violation mechanism
 }
 
@@ -124,6 +125,9 @@ func Compress[T number](src []T, mode core.Mode, bound float64) ([]byte, error) 
 		}
 	}
 	var b4 [4]byte
+	if int64(len(anchors)) > math.MaxUint32 {
+		panic("cuszplike: anchor section exceeds the uint32 length prefix")
+	}
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(anchors)))
 	out = append(out, b4[:]...)
 	out = append(out, anchors...)
@@ -156,10 +160,11 @@ func Decompress[T number](buf []byte) ([]T, error) {
 	}
 	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[6:]))
 	rng := math.Float64frombits(binary.LittleEndian.Uint64(buf[14:]))
-	count := int(binary.LittleEndian.Uint64(buf[22:]))
-	if count < 0 || count > maxDecodeElems {
+	count64 := binary.LittleEndian.Uint64(buf[22:])
+	if count64 > maxDecodeElems {
 		return nil, ErrCorrupt
 	}
+	count := int(count64)
 	eps := bound
 	if mode == core.NOA {
 		eps = bound * rng
@@ -192,8 +197,11 @@ func Decompress[T number](buf []byte) ([]T, error) {
 		if err != nil {
 			return nil, ErrCorrupt
 		}
-		maxBits := int(mb)
+		maxBits := int(mb & 63)
 		if maxBits > 32 {
+			return nil, ErrCorrupt
+		}
+		if first < math.MinInt32 || first > math.MaxInt32 {
 			return nil, ErrCorrupt
 		}
 		prev := int32(first)
@@ -205,7 +213,7 @@ func Decompress[T number](buf []byte) ([]T, error) {
 				if err != nil {
 					return nil, ErrCorrupt
 				}
-				d = uint32(v)
+				d = uint32(v & 0xFFFFFFFF)
 			}
 			prev += bits.UnZigZag32(d)
 			out[base+i] = T(float64(prev) * twoEps)

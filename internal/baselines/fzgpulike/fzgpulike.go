@@ -72,6 +72,7 @@ func Compress(src []float32, mode core.Mode, bound float64) ([]byte, error) {
 		default:
 			q = int64(f - 0.5)
 		}
+		//pfpl:ignore intwidth deliberate wrap: modeling FZ-GPU's quantizer overflow is the point
 		qi := int32(q) // unchecked wrap: FZ-GPU's violation mechanism
 		words[i] = bits.ZigZag32(qi - prev)
 		prev = qi
@@ -103,10 +104,11 @@ func Decompress(buf []byte) ([]float32, error) {
 	}
 	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
 	rng := math.Float64frombits(binary.LittleEndian.Uint64(buf[12:]))
-	count := int(binary.LittleEndian.Uint64(buf[20:]))
-	if count < 0 || count > maxDecodeElems {
+	count64 := binary.LittleEndian.Uint64(buf[20:])
+	if count64 > maxDecodeElems {
 		return nil, ErrCorrupt
 	}
+	count := int(count64)
 	eps := bound * rng
 	if eps == 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		eps = math.SmallestNonzeroFloat64

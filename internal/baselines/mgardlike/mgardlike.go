@@ -155,6 +155,9 @@ func Compress[T number](src []T, mode core.Mode, bound float64) ([]byte, error) 
 	binary.LittleEndian.PutUint64(b8[:], uint64(len(src)))
 	out = append(out, b8[:]...)
 
+	if int64(len(codes)) > math.MaxUint32 || int64(len(outBits)) > math.MaxUint32 {
+		panic("mgardlike: section exceeds the uint32 length prefix")
+	}
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(codes)))
 	out = append(out, b8[:4]...)
 	out = append(out, codes...)
@@ -182,10 +185,11 @@ func Decompress[T number](buf []byte) ([]T, error) {
 	}
 	bound := math.Float64frombits(binary.LittleEndian.Uint64(buf[7:]))
 	rng := math.Float64frombits(binary.LittleEndian.Uint64(buf[15:]))
-	count := int(binary.LittleEndian.Uint64(buf[23:]))
-	if count < 0 || count > maxDecodeElems {
+	count64 := binary.LittleEndian.Uint64(buf[23:])
+	if count64 > maxDecodeElems {
 		return nil, ErrCorrupt
 	}
+	count := int(count64)
 	eps := bound
 	if mode == core.NOA {
 		eps = bound * rng

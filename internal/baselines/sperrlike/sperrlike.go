@@ -193,10 +193,16 @@ func Compress[T number](src []T, dims []int, mode core.Mode, bound float64) ([]b
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(bound))
 	out = append(out, b8[:]...)
 	for _, d := range dims {
+		if d < 0 || int64(d) > math.MaxUint32 {
+			panic("sperrlike: dimension outside the uint32 header range")
+		}
 		binary.LittleEndian.PutUint32(b8[:4], uint32(d))
 		out = append(out, b8[:4]...)
 	}
 	huff := huffman.Encode(syms)
+	if int64(len(huff)) > math.MaxUint32 || int64(len(escBits)) > math.MaxUint32 {
+		panic("sperrlike: section exceeds the uint32 length prefix")
+	}
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(huff)))
 	out = append(out, b8[:4]...)
 	out = append(out, huff...)
@@ -207,9 +213,12 @@ func Compress[T number](src []T, dims []int, mode core.Mode, bound float64) ([]b
 	var corrBuf []byte
 	prevIdx := 0
 	for _, c := range corrs {
-		corrBuf = binary.AppendUvarint(corrBuf, uint64(c.idx-prevIdx))
+		corrBuf = binary.AppendUvarint(corrBuf, uint64(c.idx)-uint64(prevIdx))
 		corrBuf = binary.AppendVarint(corrBuf, c.bin)
 		prevIdx = c.idx
+	}
+	if int64(len(corrs)) > math.MaxUint32 || int64(len(corrBuf)) > math.MaxUint32 {
+		panic("sperrlike: correction section exceeds the uint32 length prefix")
 	}
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(corrs)))
 	out = append(out, b8[:4]...)
@@ -305,6 +314,9 @@ func Decompress[T number](buf []byte) ([]T, error) {
 			return nil, ErrCorrupt
 		}
 		corrBuf = corrBuf[used:]
+		if gap > uint64(count) {
+			return nil, ErrCorrupt
+		}
 		idx += int(gap)
 		if idx < 0 || idx >= count {
 			return nil, ErrCorrupt

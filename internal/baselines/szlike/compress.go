@@ -226,6 +226,9 @@ func interpPass[T number](n int, dec []T, visit func(i int, pred float64) error)
 }
 
 func appendSection(out []byte, sec []byte) []byte {
+	if int64(len(sec)) > math.MaxUint32 {
+		panic("szlike: section exceeds the uint32 length prefix")
+	}
 	var b4 [4]byte
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(sec)))
 	out = append(out, b4[:]...)
@@ -304,6 +307,9 @@ func compressBody[T number](src []T, dims []int, variant Variant, eps float64, r
 	body = appendSection(body, q.runLens)
 	body = appendSection(body, serializeElems(q.outliers))
 	var b4 [4]byte
+	if int64(len(q.syms)) > math.MaxUint32 {
+		panic("szlike: symbol count exceeds the uint32 length prefix")
+	}
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(q.syms)))
 	body = append(body, b4[:]...)
 	return body
@@ -590,6 +596,9 @@ func relOutlierPositions[T number](body []byte, h header, eps float64) ([]int, e
 				return nil, ErrCorrupt
 			}
 			rl = rl[used:]
+			if n > maxDecodeElems {
+				return nil, ErrCorrupt
+			}
 			i += int(n)
 		default:
 			i++

@@ -95,6 +95,9 @@ func putHeader[T number](out []byte, variant Variant, mode core.Mode, bound, rng
 	binary.LittleEndian.PutUint64(b8[:], uint64(count))
 	out = append(out, b8[:]...)
 	for _, d := range dims {
+		if d < 0 || int64(d) > math.MaxUint32 {
+			panic("szlike: dimension outside the uint32 header range")
+		}
 		binary.LittleEndian.PutUint32(b8[:4], uint32(d))
 		out = append(out, b8[:4]...)
 	}
@@ -130,14 +133,15 @@ func parseHeader(buf []byte) (header, error) {
 	}
 	h.bound = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
 	h.rng = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:]))
-	h.count = int(binary.LittleEndian.Uint64(buf[24:]))
+	count64 := binary.LittleEndian.Uint64(buf[24:])
+	if count64 > maxDecodeElems {
+		return h, ErrCorrupt
+	}
+	h.count = int(count64)
 	for i := 0; i < nd; i++ {
 		h.dims = append(h.dims, int(binary.LittleEndian.Uint32(buf[32+4*i:])))
 	}
 	h.body = buf[need:]
-	if h.count < 0 || h.count > maxDecodeElems {
-		return h, ErrCorrupt
-	}
 	return h, nil
 }
 

@@ -156,6 +156,9 @@ func Compress[T number](src []T, dims []int, mode core.Mode, bound float64) ([]b
 	binary.LittleEndian.PutUint64(b8[:], uint64(len(src)))
 	out = append(out, b8[:]...)
 	for _, dm := range dims {
+		if dm < 0 || int64(dm) > math.MaxUint32 {
+			panic("zfplike: dimension outside the uint32 header range")
+		}
 		binary.LittleEndian.PutUint32(b8[:4], uint32(dm))
 		out = append(out, b8[:4]...)
 	}
@@ -392,7 +395,7 @@ func decodeBlock(r *bits.Reader, blk []float64, iblk []int64, d, qb, totalPlanes
 	if err != nil {
 		return ErrCorrupt
 	}
-	keep := int(keepU)
+	keep := int(keepU & 0xFF)
 	if keep > totalPlanes {
 		return ErrCorrupt
 	}
@@ -421,6 +424,7 @@ func decodeBlock(r *bits.Reader, blk []float64, iblk []int64, d, qb, totalPlanes
 		}
 	}
 	for i := range iblk {
+		//pfpl:ignore intwidth deliberate two's-complement reinterpretation of the negabinary decode
 		iblk[i] = int64(bits.FromNegabinary64(nb[i]))
 	}
 	transformInverse(iblk, d)
@@ -446,10 +450,11 @@ func Decompress[T number](buf []byte) ([]T, error) {
 	if (prec == 1) != is64 || nd == 0 || nd > 3 {
 		return nil, ErrCorrupt
 	}
-	count := int(binary.LittleEndian.Uint64(buf[15:]))
-	if count < 0 || count > maxDecodeElems {
+	count64 := binary.LittleEndian.Uint64(buf[15:])
+	if count64 > maxDecodeElems {
 		return nil, ErrCorrupt
 	}
+	count := int(count64)
 	if len(buf) < 23+4*nd {
 		return nil, ErrCorrupt
 	}

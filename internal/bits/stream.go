@@ -51,6 +51,7 @@ func (w *Writer) WriteUint64(v uint64) {
 
 // BitLen reports the total number of bits written so far.
 func (w *Writer) BitLen() int {
+	//pfpl:ignore intwidth nacc < 8 between writes: WriteBits flushes whole bytes
 	return len(w.buf)*8 + int(w.nacc)
 }
 
@@ -102,7 +103,7 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint, error) {
 	v, err := r.ReadBits(1)
-	return uint(v), err
+	return uint(v & 1), err
 }
 
 // ReadUint64 reads 64 bits.

@@ -58,6 +58,8 @@ func paddedWords64(n int) int { return PaddedWords64(n) }
 // It returns the payload (aliasing s.out) and whether the chunk was stored
 // raw because compression would not have shrunk it (paper §III.E). The raw
 // payload holds the original, bit-exact IEEE values.
+//
+//pfpl:hotpath
 func EncodeChunk32(p *Params, src []float32, s *Scratch32) (payload []byte, raw bool) {
 	rec := s.Rec
 	t := rec.Now()
@@ -83,14 +85,16 @@ func EncodeChunk32(p *Params, src []float32, s *Scratch32) (payload []byte, raw 
 		for i, v := range src {
 			binary.LittleEndian.PutUint32(s.out[i*4:], f32bits(v))
 		}
-		rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(n*4), int64(n*4))
+		rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(n)*4, int64(n)*4)
 		return s.out[:n*4], true
 	}
-	rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(n*4), int64(len(payload)))
+	rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(n)*4, int64(len(payload)))
 	return payload, false
 }
 
 // DecodeChunk32 reverses EncodeChunk32, writing len(dst) values.
+//
+//pfpl:hotpath
 func DecodeChunk32(p *Params, payload []byte, raw bool, dst []float32, s *Scratch32) error {
 	rec := s.Rec
 	t := rec.Now()
@@ -102,7 +106,7 @@ func DecodeChunk32(p *Params, payload []byte, raw bool, dst []float32, s *Scratc
 		for i := range dst {
 			dst[i] = f32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
 		}
-		rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(len(payload)), int64(n*4))
+		rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(len(payload)), int64(n)*4)
 		return nil
 	}
 	padded := paddedWords32(n)
@@ -121,12 +125,14 @@ func DecodeChunk32(p *Params, payload []byte, raw bool, dst []float32, s *Scratc
 	for i := range dst {
 		dst[i] = p.DecodeValue32(s.words[i])
 	}
-	rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(len(payload)), int64(n*4))
+	rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(len(payload)), int64(n)*4)
 	return nil
 }
 
 // EncodeChunk64 is the double-precision counterpart of EncodeChunk32; all
 // but the byte-granularity final stage operate on 64-bit words (§III.D).
+//
+//pfpl:hotpath
 func EncodeChunk64(p *Params, src []float64, s *Scratch64) (payload []byte, raw bool) {
 	rec := s.Rec
 	t := rec.Now()
@@ -151,14 +157,16 @@ func EncodeChunk64(p *Params, src []float64, s *Scratch64) (payload []byte, raw 
 		for i, v := range src {
 			binary.LittleEndian.PutUint64(s.out[i*8:], f64bits(v))
 		}
-		rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(n*8), int64(n*8))
+		rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(n)*8, int64(n)*8)
 		return s.out[:n*8], true
 	}
-	rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(n*8), int64(len(payload)))
+	rec.StageSpanOutcome(obs.StageEncode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(n)*8, int64(len(payload)))
 	return payload, false
 }
 
 // DecodeChunk64 reverses EncodeChunk64.
+//
+//pfpl:hotpath
 func DecodeChunk64(p *Params, payload []byte, raw bool, dst []float64, s *Scratch64) error {
 	rec := s.Rec
 	t := rec.Now()
@@ -170,7 +178,7 @@ func DecodeChunk64(p *Params, payload []byte, raw bool, dst []float64, s *Scratc
 		for i := range dst {
 			dst[i] = f64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
 		}
-		rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(len(payload)), int64(n*8))
+		rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeRaw, int64(len(payload)), int64(n)*8)
 		return nil
 	}
 	padded := paddedWords64(n)
@@ -189,6 +197,6 @@ func DecodeChunk64(p *Params, payload []byte, raw bool, dst []float64, s *Scratc
 	for i := range dst {
 		dst[i] = p.DecodeValue64(s.words[i])
 	}
-	rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(len(payload)), int64(n*8))
+	rec.StageSpanOutcome(obs.StageDecode, s.Track, s.Unit, t, obs.OutcomeCompressed, int64(len(payload)), int64(n)*8)
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Container layout (all integers little-endian):
@@ -36,6 +37,15 @@ const (
 // container in memory.
 const ContainerHeaderSize = headerSize
 
+// MaxElems is the largest element count a stream may declare on this
+// architecture. The cap keeps every int conversion and byte-length product
+// derived from Count exact: a count above it cannot be decoded into an
+// addressable slice anyway (8 bytes per element plus the output would not
+// fit), and an unchecked fold of a 2^64-range count into int is precisely
+// the wrap that produced the writer/reader frame-cap asymmetry on 32-bit
+// builds.
+const MaxElems = math.MaxInt / 8
+
 // Header describes a compressed stream.
 type Header struct {
 	Mode      Mode
@@ -45,6 +55,18 @@ type Header struct {
 	NOARange  float64 // input value range (NOA only)
 	Count     uint64  // number of elements
 	NumChunks int
+}
+
+// Len returns the element count as an int. ParseHeader rejects counts
+// above MaxElems, and encoders set Count from a slice length, so for any
+// header obtained through either path the conversion is exact on every
+// architecture. A count that somehow exceeds the cap maps to 0 rather
+// than wrapping.
+func (h *Header) Len() int {
+	if h.Count > MaxElems {
+		return 0
+	}
+	return int(h.Count)
 }
 
 // chunkElems returns the number of elements per full chunk for the header's
@@ -84,6 +106,9 @@ func AppendHeader(out []byte, h *Header) []byte {
 	binary.LittleEndian.PutUint64(buf[16:], f64bits(h.NOARange))
 	binary.LittleEndian.PutUint64(buf[24:], h.Count)
 	binary.LittleEndian.PutUint32(buf[32:], ChunkBytes)
+	if h.NumChunks < 0 || int64(h.NumChunks) > math.MaxUint32 {
+		panic("core: chunk count outside the container's uint32 table range")
+	}
 	binary.LittleEndian.PutUint32(buf[36:], uint32(h.NumChunks))
 	out = append(out, buf[:]...)
 	out = append(out, make([]byte, 4*h.NumChunks)...)
@@ -93,6 +118,9 @@ func AppendHeader(out []byte, h *Header) []byte {
 // PutChunkSize records the payload size of chunk i in the table of a buffer
 // produced by AppendHeader.
 func PutChunkSize(buf []byte, i int, size int, raw bool) {
+	if size < 0 || size > MaxChunkPayload {
+		panic("core: chunk payload size outside the container's table range")
+	}
 	v := uint32(size)
 	if raw {
 		v |= rawChunkFlag
@@ -120,6 +148,9 @@ func ParseHeader(buf []byte) (Header, error) {
 	h.Bound = f64frombits(binary.LittleEndian.Uint64(buf[8:]))
 	h.NOARange = f64frombits(binary.LittleEndian.Uint64(buf[16:]))
 	h.Count = binary.LittleEndian.Uint64(buf[24:])
+	if h.Count > MaxElems {
+		return h, fmt.Errorf("%w: element count %d exceeds the %d-element limit of this architecture", ErrCorrupt, h.Count, uint64(MaxElems))
+	}
 	if binary.LittleEndian.Uint32(buf[32:]) != ChunkBytes {
 		return h, fmt.Errorf("%w: unsupported chunk size", ErrCorrupt)
 	}
@@ -127,7 +158,7 @@ func ParseHeader(buf []byte) (Header, error) {
 	if h.Mode > NOA {
 		return h, fmt.Errorf("%w: bad mode", ErrCorrupt)
 	}
-	want := numChunksFor(int(h.Count), h.chunkElems())
+	want := numChunksFor(h.Len(), h.chunkElems())
 	if h.NumChunks != want {
 		return h, fmt.Errorf("%w: chunk count %d does not cover %d elements", ErrCorrupt, h.NumChunks, h.Count)
 	}

@@ -79,6 +79,11 @@ func AppendIndex(out []byte, recs []FrameRecord) []byte {
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
 	out = append(out, hdr[:]...)
 	for _, r := range recs {
+		if r.Length < 0 || r.Length > math.MaxUint32 ||
+			r.Chunks < 0 || int64(r.Chunks) > math.MaxUint32 ||
+			r.Values < 0 || r.Values > math.MaxUint32 {
+			panic("core: frame record field outside the index's uint32 range")
+		}
 		var rec [frameRecordSize]byte
 		binary.LittleEndian.PutUint64(rec[0:], uint64(r.Offset))
 		binary.LittleEndian.PutUint32(rec[8:], uint32(r.Length))
@@ -94,6 +99,9 @@ func AppendIndex(out []byte, recs []FrameRecord) []byte {
 // starts at stream byte offset indexOff.
 func AppendIndexTrailer(out []byte, indexOff int64, block []byte) []byte {
 	var tr [IndexTrailerSize]byte
+	if int64(len(block)) > math.MaxUint32 {
+		panic("core: index block outside the trailer's uint32 length range")
+	}
 	binary.LittleEndian.PutUint64(tr[0:], uint64(indexOff))
 	binary.LittleEndian.PutUint32(tr[8:], uint32(len(block)))
 	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(block, castagnoli))
@@ -139,7 +147,7 @@ func ParseIndex(block []byte, wantCRC uint32, blockOff int64) ([]FrameRecord, er
 		return nil, fmt.Errorf("%w: unsupported index version %d", ErrCorrupt, v)
 	}
 	n := binary.LittleEndian.Uint64(block[8:])
-	if n > uint64(len(block)-indexHeaderSize)/frameRecordSize ||
+	if n > (uint64(len(block))-indexHeaderSize)/frameRecordSize ||
 		int(n)*frameRecordSize != len(block)-indexHeaderSize {
 		return nil, fmt.Errorf("%w: index record count disagrees with block size", ErrCorrupt)
 	}
@@ -147,8 +155,12 @@ func ParseIndex(block []byte, wantCRC uint32, blockOff int64) ([]FrameRecord, er
 	next := int64(0) // expected offset of the next frame's length prefix
 	for i := range recs {
 		b := block[indexHeaderSize+i*frameRecordSize:]
+		off := binary.LittleEndian.Uint64(b[0:])
+		if off > math.MaxInt64 {
+			return nil, fmt.Errorf("%w: index record %d offset overflows int64", ErrCorrupt, i)
+		}
 		r := FrameRecord{
-			Offset: int64(binary.LittleEndian.Uint64(b[0:])),
+			Offset: int64(off),
 			Length: int64(binary.LittleEndian.Uint32(b[8:])),
 			Chunks: int(binary.LittleEndian.Uint32(b[12:])),
 			Values: int64(binary.LittleEndian.Uint32(b[16:])),

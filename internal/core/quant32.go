@@ -124,6 +124,7 @@ func (p *Params) encodeRel32(v float32) uint32 {
 			return bits ^ f32RelXor
 		}
 	}
+	//pfpl:ignore intwidth payload is 2+2*|bin| with |bin| <= f32RelBin, far below 2^23
 	return (f32RelXor | uint32(relPayload(bin, neg))) ^ f32RelXor
 }
 

@@ -61,7 +61,7 @@ func DecompressRange32(buf []byte, offset, count int) ([]float32, error) {
 	if h.Prec64 {
 		return nil, ErrCorrupt
 	}
-	n := int(h.Count)
+	n := h.Len()
 	// count is compared against the remaining span rather than offset+count
 	// against n: the latter can wrap for adversarial counts near MaxInt and
 	// slip past validation into a huge allocation.
@@ -118,7 +118,7 @@ func DecompressRange64(buf []byte, offset, count int) ([]float64, error) {
 	if !h.Prec64 {
 		return nil, ErrCorrupt
 	}
-	n := int(h.Count)
+	n := h.Len()
 	// See DecompressRange32: guard against offset+count overflow.
 	if offset < 0 || count < 0 || offset > n || count > n-offset {
 		return nil, ErrCorrupt

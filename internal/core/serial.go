@@ -76,7 +76,7 @@ func DecompressSerial32Traced(buf []byte, dst []float32, rec *obs.Recorder) ([]f
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
@@ -169,7 +169,7 @@ func DecompressSerial64Traced(buf []byte, dst []float64, rec *obs.Recorder) ([]f
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}

@@ -22,6 +22,7 @@ import (
 var fastKernels atomic.Bool
 
 func init() {
+	//pfpl:ignore determinism PFPL_REF_KERNELS toggles between bit-identical kernel implementations
 	fastKernels.Store(os.Getenv("PFPL_REF_KERNELS") == "")
 }
 
@@ -41,6 +42,8 @@ func FastKernels() bool { return fastKernels.Load() }
 // many leading zero bits.
 
 // DeltaNegaForward32 transforms a in place.
+//
+//pfpl:kernel
 func DeltaNegaForward32(a []uint32) {
 	if !fastKernels.Load() {
 		ref.DeltaNegaForward32(a)
@@ -54,6 +57,8 @@ func DeltaNegaForward32(a []uint32) {
 // and i-1 — so an eight-wide stride lets all eight subtract+negabinary
 // conversions retire independently instead of serializing on the previous
 // iteration's store.
+//
+//pfpl:hotpath
 func deltaNegaForward32(a []uint32) {
 	prev := uint32(0)
 	i := 0
@@ -78,6 +83,8 @@ func deltaNegaForward32(a []uint32) {
 }
 
 // DeltaNegaInverse32 inverts DeltaNegaForward32 in place.
+//
+//pfpl:kernel
 func DeltaNegaInverse32(a []uint32) {
 	if !fastKernels.Load() {
 		ref.DeltaNegaInverse32(a)
@@ -90,6 +97,8 @@ func DeltaNegaInverse32(a []uint32) {
 // running total is inherently serial — but the four negabinary decodes and
 // the partial-sum tree are not, leaving one add on the carried chain per
 // four elements instead of four.
+//
+//pfpl:hotpath
 func deltaNegaInverse32(a []uint32) {
 	prev := uint32(0)
 	i := 0
@@ -112,6 +121,8 @@ func deltaNegaInverse32(a []uint32) {
 }
 
 // DeltaNegaForward64 transforms a in place (64-bit word size).
+//
+//pfpl:kernel
 func DeltaNegaForward64(a []uint64) {
 	if !fastKernels.Load() {
 		ref.DeltaNegaForward64(a)
@@ -120,6 +131,7 @@ func DeltaNegaForward64(a []uint64) {
 	deltaNegaForward64(a)
 }
 
+//pfpl:hotpath
 func deltaNegaForward64(a []uint64) {
 	prev := uint64(0)
 	i := 0
@@ -144,6 +156,8 @@ func deltaNegaForward64(a []uint64) {
 }
 
 // DeltaNegaInverse64 inverts DeltaNegaForward64 in place.
+//
+//pfpl:kernel
 func DeltaNegaInverse64(a []uint64) {
 	if !fastKernels.Load() {
 		ref.DeltaNegaInverse64(a)
@@ -152,6 +166,7 @@ func DeltaNegaInverse64(a []uint64) {
 	deltaNegaInverse64(a)
 }
 
+//pfpl:hotpath
 func deltaNegaInverse64(a []uint64) {
 	prev := uint64(0)
 	i := 0
@@ -182,6 +197,8 @@ func deltaNegaInverse64(a []uint64) {
 
 // BitShuffle32 transposes each 32-word group of a in place. It is an
 // involution, so it also serves as the inverse transform.
+//
+//pfpl:kernel
 func BitShuffle32(a []uint32) {
 	if !fastKernels.Load() {
 		ref.BitShuffle32(a)
@@ -193,6 +210,8 @@ func BitShuffle32(a []uint32) {
 }
 
 // BitShuffle64 transposes each 64-word group of a in place (involution).
+//
+//pfpl:kernel
 func BitShuffle64(a []uint64) {
 	if !fastKernels.Load() {
 		ref.BitShuffle64(a)
@@ -220,9 +239,13 @@ var _ [1]struct{} = [1 + bitmapLevels - ref.BitmapLevels]struct{}{}
 var _ [1]struct{} = [1 + ref.BitmapLevels - bitmapLevels]struct{}{}
 
 // bitmapLen returns the number of bitmap bytes covering n payload bytes.
+//
+//pfpl:hotpath
 func bitmapLen(n int) int { return (n + 7) / 8 }
 
 // BitmapLen is the exported form of bitmapLen.
+//
+//pfpl:kernel
 func BitmapLen(n int) int { return bitmapLen(n) }
 
 // SWAR constants for the byte-granular kernels: every lane trick below
@@ -256,6 +279,8 @@ func nonzeroByteMask(w uint64) byte {
 //
 // where bm[1] is the zero-byte bitmap of data and bm[k+1] is the
 // repeat-byte bitmap of bm[k].
+//
+//pfpl:kernel
 func ZeroElimEncode(data []byte, out []byte) []byte {
 	if !fastKernels.Load() {
 		return ref.ZeroElimEncode(data, out)
@@ -311,6 +336,8 @@ func ZeroElimDecodeScratch(src []byte, dst []byte, s *ZeroElimScratch) (int, err
 // chunk encoder uses so its hot path stays allocation-free. (The reference
 // fallback allocates its bitmap levels; only the fast path is pinned by the
 // zero-alloc guards.)
+//
+//pfpl:hotpath
 func zeroElimEncodeScratch(data []byte, out []byte, bs *bitmapScratch) []byte {
 	if !fastKernels.Load() {
 		return ref.ZeroElimEncode(data, out)
@@ -337,6 +364,8 @@ func zeroElimEncodeScratch(data []byte, out []byte, bs *bitmapScratch) []byte {
 // residuals) skip in one compare, all-ones words become a single copy, and
 // mixed words extract each survivor with a TrailingZeros64 instead of
 // probing all 64 bit positions.
+//
+//pfpl:hotpath
 func appendSelected(out []byte, data []byte, sel []byte) []byte {
 	n := len(data)
 	i := 0
@@ -369,6 +398,8 @@ func appendSelected(out []byte, data []byte, sel []byte) []byte {
 
 // ZeroElimDecode decodes n payload bytes from src into dst (len(dst) == n)
 // and returns the number of bytes of src consumed.
+//
+//pfpl:kernel
 func ZeroElimDecode(src []byte, dst []byte) (int, error) {
 	if !fastKernels.Load() {
 		used, err := ref.ZeroElimDecode(src, dst)
@@ -413,6 +444,8 @@ func ZeroElimDecode(src []byte, dst []byte) (int, error) {
 // zeroElimDecodeScratch is ZeroElimDecode with the bitmap levels expanded
 // into caller-owned scratch — the variant the fused chunk decoder uses so
 // its hot path stays allocation-free.
+//
+//pfpl:hotpath
 func zeroElimDecodeScratch(src []byte, dst []byte, bs *bitmapScratch) (int, error) {
 	if !fastKernels.Load() {
 		used, err := ref.ZeroElimDecode(src, dst)
@@ -463,6 +496,8 @@ func buildZeroBitmap(data []byte) []byte {
 // buildZeroBitmapInto writes the zero bitmap of data into bm, which must
 // have length bitmapLen(len(data)). Each whole 8-byte group produces its
 // bitmap byte in one nonzeroByteMask; no per-bit probing, no pre-clear.
+//
+//pfpl:hotpath
 func buildZeroBitmapInto(data []byte, bm []byte) {
 	n8 := len(data) &^ 7
 	i := 0
@@ -493,6 +528,8 @@ func buildRepeatBitmap(data []byte) []byte {
 // lane and injecting the previous group's last byte aligns every byte with
 // its predecessor, so the repeat test is one XOR plus the SWAR nonzero
 // detector per eight bytes.
+//
+//pfpl:hotpath
 func buildRepeatBitmapInto(data []byte, bm []byte) {
 	n8 := len(data) &^ 7
 	i := 0
@@ -523,6 +560,8 @@ func buildRepeatBitmapInto(data []byte, bm []byte) {
 // run-fill of the previous byte, all-ones words a straight copy, and mixed
 // words walk only the set bits (TrailingZeros64), filling the gaps between
 // them in runs.
+//
+//pfpl:hotpath
 func expandRepeat(bm []byte, src []byte, dst []byte) (int, error) {
 	n := len(dst)
 	pos := 0
@@ -574,6 +613,8 @@ func expandRepeat(bm []byte, src []byte, dst []byte) (int, error) {
 // expandRepeat it dispatches 64 output bytes per bitmap word: all-zero
 // words are a memclr, all-ones words a copy, and mixed words scatter one
 // source byte per set bit after a single popcount bounds check.
+//
+//pfpl:hotpath
 func expandZero(bm []byte, src []byte, dst []byte) (int, error) {
 	n := len(dst)
 	pos := 0
@@ -617,6 +658,8 @@ func expandZero(bm []byte, src []byte, dst []byte) (int, error) {
 // fillBytes sets every byte of dst to v. The zero case lowers to the
 // runtime's memclr; nonzero runs are short (gaps between non-repeating
 // bitmap bytes), so a plain loop wins over cleverness.
+//
+//pfpl:hotpath
 func fillBytes(dst []byte, v byte) {
 	if v == 0 {
 		clear(dst)

@@ -151,13 +151,14 @@ func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispa
 		s.Rec = rec
 		s.Track = wt.next()
 		for {
-			c := int(atomic.AddInt64(&next, 1)) - 1
-			if c >= h.NumChunks {
+			c64 := atomic.AddInt64(&next, 1) - 1
+			if c64 >= int64(h.NumChunks) {
 				return
 			}
+			c := int(c64)
 			lo := c * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, len(src))
-			s.Unit = int32(c)
+			s.Unit = int32(c64)
 			payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)
 			core.PutChunkSize(out, c, len(payload), raw)
 			t := rec.Now()
@@ -170,6 +171,7 @@ func compress32(src []float32, mode core.Mode, bound float64, nw int, disp dispa
 	})
 	end := payloadStart
 	if h.NumChunks > 0 {
+		//pfpl:ignore intwidth Wait returns a byte offset into out, bounded by len(out)
 		end = int(ca.Wait(h.NumChunks))
 	}
 	return out[:end], nil
@@ -205,7 +207,7 @@ func decompress32(buf []byte, dst []float32, nw int, disp dispatcher, rec *obs.R
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
@@ -263,13 +265,14 @@ func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispa
 		s.Rec = rec
 		s.Track = wt.next()
 		for {
-			c := int(atomic.AddInt64(&next, 1)) - 1
-			if c >= h.NumChunks {
+			c64 := atomic.AddInt64(&next, 1) - 1
+			if c64 >= int64(h.NumChunks) {
 				return
 			}
+			c := int(c64)
 			lo := c * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, len(src))
-			s.Unit = int32(c)
+			s.Unit = int32(c64)
 			payload, raw := core.EncodeChunk64(&p, src[lo:hi], &s)
 			core.PutChunkSize(out, c, len(payload), raw)
 			t := rec.Now()
@@ -282,6 +285,7 @@ func compress64(src []float64, mode core.Mode, bound float64, nw int, disp dispa
 	})
 	end := payloadStart
 	if h.NumChunks > 0 {
+		//pfpl:ignore intwidth Wait returns a byte offset into out, bounded by len(out)
 		end = int(ca.Wait(h.NumChunks))
 	}
 	return out[:end], nil
@@ -315,7 +319,7 @@ func decompress64(buf []byte, dst []float64, nw int, disp dispatcher, rec *obs.R
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
@@ -346,11 +350,12 @@ func parallelChunks(numChunks, workers int, disp dispatcher, rec *obs.Recorder, 
 		s32.Track = wt.next()
 		s64.Track = s32.Track
 		for {
-			c := int(atomic.AddInt64(&next, 1)) - 1
-			if c >= numChunks {
+			c64 := atomic.AddInt64(&next, 1) - 1
+			if c64 >= int64(numChunks) {
 				return
 			}
-			s32.Unit, s64.Unit = int32(c), int32(c)
+			c := int(c64)
+			s32.Unit, s64.Unit = int32(c64), int32(c64)
 			if err := fn(c, &s32, &s64); err != nil {
 				firstErr.CompareAndSwap(nil, err)
 			}

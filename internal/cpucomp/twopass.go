@@ -46,10 +46,11 @@ func Compress32TwoPass(src []float32, mode core.Mode, bound float64, workers int
 			defer wg.Done()
 			var s core.Scratch32
 			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= h.NumChunks {
+				c64 := atomic.AddInt64(&next, 1) - 1
+				if c64 >= int64(h.NumChunks) {
 					return
 				}
+				c := int(c64)
 				lo := c * core.ChunkWords32
 				hi := min(lo+core.ChunkWords32, len(src))
 				payload, raw := core.EncodeChunk32(&p, src[lo:hi], &s)

@@ -73,10 +73,11 @@ func (m DeviceModel) Grid(blocks, threadsPerBlock int, makeKernel func(sm int) f
 			kernel := makeKernel(w)
 			blk := Block{Threads: threadsPerBlock}
 			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= blocks {
+				i64 := atomic.AddInt64(&next, 1) - 1
+				if i64 >= int64(blocks) {
 					return
 				}
+				i := int(i64)
 				blk.Idx = i
 				kernel(&blk)
 			}

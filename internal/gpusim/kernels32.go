@@ -199,10 +199,10 @@ func encodeChunk32(b *Block, p *core.Params, src []float32, s *shared32) (int, b
 				binary.LittleEndian.PutUint32(s.out[i*4:], f32bits(src[i]))
 			}
 		})
-		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n*4), int64(n*4))
+		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n)*4, int64(n)*4)
 		return n * 4, true
 	}
-	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n*4), int64(pos))
+	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n)*4, int64(pos))
 	return pos, false
 }
 
@@ -360,16 +360,19 @@ func Compress32Traced(m DeviceModel, src []float32, mode core.Mode, bound float6
 			c := b.Idx
 			lo := c * core.ChunkWords32
 			hi := min(lo+core.ChunkWords32, len(src))
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
 			s.unit = int32(c)
 			size, raw := encodeChunk32(b, &p, src[lo:hi], s)
 			core.PutChunkSize(out, c, size, raw)
 			t := rec.Now()
 			prefix := lb.ExclusivePrefix(c, int64(size))
 			t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
+			//pfpl:ignore intwidth prefix is a byte offset into out, bounded by len(out)
 			copy(out[payloadStart+int(prefix):], s.out[:size])
 			rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
 		}
 	})
+	//pfpl:ignore intwidth Total is the summed payload length, bounded by len(out)
 	end := payloadStart + int(lb.Total())
 	return out[:end], nil
 }
@@ -399,7 +402,7 @@ func Decompress32Traced(m DeviceModel, buf []byte, dst []float32, rec *obs.Recor
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float32, n)
 	}
@@ -422,7 +425,8 @@ func Decompress32Traced(m DeviceModel, buf []byte, dst []float32, rec *obs.Recor
 			if raws[c] {
 				outc = obs.OutcomeRaw
 			}
-			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), int64((hi-lo)*4))
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), (int64(hi)-int64(lo))*4)
 		}
 	})
 	if err, ok := firstErr.Load().(error); ok {

@@ -157,10 +157,10 @@ func encodeChunk64(b *Block, p *core.Params, src []float64, s *shared64) (int, b
 				binary.LittleEndian.PutUint64(s.out[i*8:], f64bits(src[i]))
 			}
 		})
-		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n*8), int64(n*8))
+		rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeRaw, int64(n)*8, int64(n)*8)
 		return n * 8, true
 	}
-	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n*8), int64(pos))
+	rec.StageSpanOutcome(obs.StageEncode, s.track, s.unit, tm, obs.OutcomeCompressed, int64(n)*8, int64(pos))
 	return pos, false
 }
 
@@ -299,16 +299,19 @@ func Compress64Traced(m DeviceModel, src []float64, mode core.Mode, bound float6
 			c := b.Idx
 			lo := c * core.ChunkWords64
 			hi := min(lo+core.ChunkWords64, len(src))
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
 			s.unit = int32(c)
 			size, raw := encodeChunk64(b, &p, src[lo:hi], s)
 			core.PutChunkSize(out, c, size, raw)
 			t := rec.Now()
 			prefix := lb.ExclusivePrefix(c, int64(size))
 			t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
+			//pfpl:ignore intwidth prefix is a byte offset into out, bounded by len(out)
 			copy(out[payloadStart+int(prefix):], s.out[:size])
 			rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
 		}
 	})
+	//pfpl:ignore intwidth Total is the summed payload length, bounded by len(out)
 	end := payloadStart + int(lb.Total())
 	return out[:end], nil
 }
@@ -337,7 +340,7 @@ func Decompress64Traced(m DeviceModel, buf []byte, dst []float64, rec *obs.Recor
 	if err != nil {
 		return nil, err
 	}
-	n := int(h.Count)
+	n := h.Len()
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
@@ -360,7 +363,8 @@ func Decompress64Traced(m DeviceModel, buf []byte, dst []float64, rec *obs.Recor
 			if raws[c] {
 				outc = obs.OutcomeRaw
 			}
-			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), int64((hi-lo)*8))
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(lengths[c]), (int64(hi)-int64(lo))*8)
 		}
 	})
 	if err, ok := firstErr.Load().(error); ok {

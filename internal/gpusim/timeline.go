@@ -93,7 +93,7 @@ func ModelTimeline(m DeviceModel, comp []byte) (*Timeline, error) {
 		tl.Tracks[i] = fmt.Sprintf("SM %d", i)
 	}
 	smFree := make([]float64, usedSMs)
-	n := int(h.Count)
+	n := h.Len()
 	prevEmitEnd := 0.0
 	for c := 0; c < h.NumChunks; c++ {
 		// Blocks dispatch in order to the earliest-free SM — the same
@@ -128,7 +128,7 @@ func ModelTimeline(m DeviceModel, comp []byte) (*Timeline, error) {
 			case obs.StageEncode:
 				dur = computeNS * fracEncode
 				spanOutcome = outcome
-				bin, bout = int64(words*elem), int64(lengths[c])
+				bin, bout = int64(words)*int64(elem), int64(lengths[c])
 			case obs.StageCarryWait:
 				// Ordered concatenation: the block stalls until its
 				// predecessor's payload has landed.

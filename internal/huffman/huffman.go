@@ -140,7 +140,7 @@ func Encode(syms []uint16) []byte {
 			j++
 		}
 		hdr = append(hdr, byte(l))
-		hdr = binary.AppendUvarint(hdr, uint64(j-i))
+		hdr = binary.AppendUvarint(hdr, uint64(j)-uint64(i))
 		prev := uint64(0)
 		for _, s := range order[i:j] {
 			hdr = binary.AppendUvarint(hdr, uint64(s)-prev)

@@ -206,6 +206,7 @@ func (r *Recorder) Track(name string) int32 {
 	if id, ok := r.trackIDs[name]; ok {
 		return id
 	}
+	//pfpl:ignore intwidth track count is one per worker lane, far below 2^31
 	id := int32(len(r.tracks))
 	r.tracks = append(r.tracks, name)
 	r.trackIDs[name] = id

@@ -39,15 +39,21 @@ func (r *rng) norm() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// low32 folds a lattice coordinate to its low 32 bits, the slice of the
+// coordinate the hash deliberately mixes from (identical on 32- and 64-bit
+// targets).
+func low32(v int) uint32 { return uint32(int64(v) & 0xFFFFFFFF) }
+
 // hash3 maps lattice coordinates to a deterministic value in [-1, 1].
 func hash3(seed uint64, x, y, z int) float64 {
 	h := seed
-	h ^= uint64(uint32(x)) * 0x9E3779B97F4A7C15
+	h ^= uint64(low32(x)) * 0x9E3779B97F4A7C15
 	h = (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9
-	h ^= uint64(uint32(y)) * 0xC2B2AE3D27D4EB4F
+	h ^= uint64(low32(y)) * 0xC2B2AE3D27D4EB4F
 	h = (h ^ (h >> 31)) * 0x94D049BB133111EB
-	h ^= uint64(uint32(z)) * 0x165667B19E3779F9
+	h ^= uint64(low32(z)) * 0x165667B19E3779F9
 	h = (h ^ (h >> 28)) * 0x2545F4914F6CDD1D
+	//pfpl:ignore intwidth deliberate bit reinterpretation: the sign bit of h is the hash's sign
 	return float64(int64(h)) / float64(math.MaxInt64) // in [-1, 1]
 }
 

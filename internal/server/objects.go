@@ -419,6 +419,9 @@ func (s *Server) handleObjectGet(w http.ResponseWriter, r *http.Request) {
 // frame, returning their little-endian byte representation, and accounts
 // the chunks touched.
 func (s *Server) decodeFrameRange(obj *object, frame []byte, localOff, localCnt int64) ([]byte, error) {
+	if localOff < 0 || localCnt <= 0 || localOff > math.MaxInt || localCnt > math.MaxInt {
+		return nil, fmt.Errorf("object range [%d,+%d) is not addressable on this architecture", localOff, localCnt)
+	}
 	words := int64(core.ChunkWords32)
 	if obj.double {
 		words = core.ChunkWords64

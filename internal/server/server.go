@@ -267,7 +267,7 @@ func parseParams(r *http.Request, needBound bool) (reqParams, error) {
 	if b := param(r, "bound"); b != "" {
 		v, err := strconv.ParseFloat(b, 64)
 		if err != nil {
-			return p, fmt.Errorf("bad bound %q: %v", b, err)
+			return p, fmt.Errorf("bad bound %q: %w", b, err)
 		}
 		p.bound = v
 	} else if needBound {
@@ -635,7 +635,7 @@ func decompressBody32(src io.Reader, dst io.Writer, opts pfpl.Options, frame int
 			if _, werr := dst.Write(out[:n*4]); werr != nil {
 				return total, werr
 			}
-			total += int64(n * 4)
+			total += int64(n) * 4
 		}
 		if err == io.EOF {
 			return total, nil
@@ -660,7 +660,7 @@ func decompressBody64(src io.Reader, dst io.Writer, opts pfpl.Options, frame int
 			if _, werr := dst.Write(out[:n*8]); werr != nil {
 				return total, werr
 			}
-			total += int64(n * 8)
+			total += int64(n) * 8
 		}
 		if err == io.EOF {
 			return total, nil

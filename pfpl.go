@@ -184,7 +184,7 @@ func Stat(buf []byte) (Info, error) {
 		NOARange:    h.NOARange,
 		Double:      h.Prec64,
 		Raw:         h.Raw,
-		Count:       int(h.Count),
+		Count:       h.Len(),
 		Chunks:      h.NumChunks,
 	}, nil
 }

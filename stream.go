@@ -232,6 +232,7 @@ func writeFrame(w io.Writer, comp []byte) error {
 		return fmt.Errorf("pfpl: frame of %d bytes exceeds the %d-byte frame limit", len(comp), maxWriteFrameBytes)
 	}
 	var hdr [framePrefix]byte
+	//pfpl:ignore intwidth frameLenWritable above bounds len(comp) to maxWriteFrameBytes < 2^31
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err

@@ -163,7 +163,7 @@ func frameRecordFor(comp []byte) (core.FrameRecord, error) {
 	return core.FrameRecord{
 		Length: int64(len(comp)),
 		Chunks: h.NumChunks,
-		Values: int64(h.Count),
+		Values: int64(h.Len()),
 		Digest: core.FrameDigest(comp),
 	}, nil
 }
