@@ -1,0 +1,214 @@
+package pfpl
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func pubBatchFields() [][]float32 {
+	mk := func(n int, f func(i int) float32) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	smooth := func(i int) float32 { return float32(math.Sin(float64(i) * 0.01)) }
+	return [][]float32{
+		mk(20, smooth),
+		{},
+		mk(5000, smooth),
+		{float32(math.NaN()), float32(math.Inf(1)), 0},
+	}
+}
+
+// customDevice wraps Serial without implementing the batch extension, so the
+// generic per-field fallback is exercised.
+type customDevice struct{ Device }
+
+func (customDevice) Name() string { return "custom" }
+
+// TestBatchDeviceIdentity pins the batch container bytes across every
+// built-in device plus the generic fallback: the paper's cross-executor
+// portability property extended to the batch framing.
+func TestBatchDeviceIdentity(t *testing.T) {
+	fields := pubBatchFields()
+	pool := NewCPUPool(3)
+	defer pool.Close()
+	devices := []Device{Serial(), CPU(1), CPU(4), pool, GPU(RTX4090), customDevice{Serial()}}
+	var want []byte
+	for _, dev := range devices {
+		got, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3, Device: dev})
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: batch container differs from %s", dev.Name(), devices[0].Name())
+		}
+	}
+}
+
+func TestBatchRoundtripAllDevices(t *testing.T) {
+	fields := pubBatchFields()
+	buf, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []Device{Serial(), CPU(2), GPU(A100), customDevice{Serial()}} {
+		got, err := DecompressBatch32(buf, Options{Device: dev})
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if len(got) != len(fields) {
+			t.Fatalf("%s: %d fields, want %d", dev.Name(), len(got), len(fields))
+		}
+		for i := range fields {
+			if v := VerifyBound(fields[i], got[i], ABS, 1e-3); v != 0 {
+				t.Fatalf("%s field %d: %d bound violations", dev.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestBatchChecksumRoundtrip(t *testing.T) {
+	fields := pubBatchFields()
+	buf, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressBatch32(buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)/2] ^= 0x08
+	if _, err := DecompressBatch32(bad, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted checksummed batch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenBatchRandomAccess(t *testing.T) {
+	fields := pubBatchFields()
+	buf, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBatch(buf) {
+		t.Fatal("IsBatch = false")
+	}
+	b, err := OpenBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != len(fields) || b.Double() {
+		t.Fatalf("Count=%d Double=%v, want %d f32 fields", b.Count(), b.Double(), len(fields))
+	}
+	// Decode only field 2; neighbors stay untouched.
+	info := b.Info(2)
+	if info.Count != len(fields[2]) || info.Mode != ABS {
+		t.Fatalf("Info(2) = %+v", info)
+	}
+	got, err := b.Field32(2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyBound(fields[2], got, ABS, 1e-3); v != 0 {
+		t.Fatalf("%d bound violations on random-access field", v)
+	}
+	// The sliced field is a standalone stream identical to single-field output.
+	fc, err := b.Field(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Compress32(fields[2], Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fc, single) {
+		t.Fatal("batch field payload differs from single-field stream")
+	}
+	if _, err := b.Field64(2, nil, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Field64 on f32 batch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBatchSingleFieldEquivalence: CompressBatch([f]) carries exactly the
+// single-field stream as its payload and decodes to the same values.
+func TestBatchSingleFieldEquivalence(t *testing.T) {
+	f := pubBatchFields()[2]
+	buf, err := CompressBatch32([][]float32{f}, Options{Mode: REL, Bound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := b.Field(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Compress32(f, Options{Mode: REL, Bound: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fc, single) {
+		t.Fatal("single-field batch payload differs from Compress32 output")
+	}
+	got, err := DecompressBatch32(buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress32(single, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if f32bitsEq(got[0][i], want[i]) != true {
+			t.Fatalf("value %d: batch %v, single %v", i, got[0][i], want[i])
+		}
+	}
+}
+
+func f32bitsEq(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+func TestBatch64Roundtrip(t *testing.T) {
+	mk := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Cos(float64(i) * 0.05)
+		}
+		return out
+	}
+	fields := [][]float64{mk(3000), {}, mk(11)}
+	buf, err := CompressBatch64(fields, Options{Mode: ABS, Bound: 1e-6, Device: GPU(RTX4090)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBatch64(buf, Options{Device: CPU(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fields {
+		if v := VerifyBound64(fields[i], got[i], ABS, 1e-6); v != 0 {
+			t.Fatalf("field %d: %d bound violations", i, v)
+		}
+	}
+}
+
+func TestDecompressBatchRejectsSingleStream(t *testing.T) {
+	single, err := Compress32([]float32{1, 2, 3}, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressBatch32(single, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

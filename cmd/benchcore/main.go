@@ -279,7 +279,7 @@ func executorBenchmarks(budget time.Duration) []Result {
 	return results
 }
 
-func run(budget time.Duration, outPath string) error {
+func run(budget time.Duration, outPath, batchOutPath string, batchFields int) error {
 	stages, speedups := stageBenchmarks(budget)
 	executors := executorBenchmarks(budget)
 	rep := Report{
@@ -295,7 +295,18 @@ func run(budget time.Duration, outPath string) error {
 		Executors:   executors,
 		Speedups:    speedups,
 	}
-	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err := writeJSON(&rep, outPath); err != nil {
+		return err
+	}
+	if batchOutPath == "" {
+		return nil
+	}
+	brep := batchReport(budget, batchFields, batchFieldValues)
+	return writeJSON(&brep, batchOutPath)
+}
+
+func writeJSON(v any, outPath string) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -308,14 +319,17 @@ func run(budget time.Duration, outPath string) error {
 }
 
 func main() {
-	quick := flag.Bool("quick", false, "short measurement budget (CI smoke pass)")
+	quick := flag.Bool("quick", false, "short measurement budget and small batch scenario (CI smoke pass)")
 	out := flag.String("out", "results/BENCH_core.json", "output path, or - for stdout")
+	batchOut := flag.String("batch-out", "results/BENCH_batch.json", "batch-scenario output path, - for stdout, empty to skip")
 	flag.Parse()
 	budget := 300 * time.Millisecond
+	batchFields := batchFieldsFull
 	if *quick {
 		budget = 25 * time.Millisecond
+		batchFields = batchFieldsQuick
 	}
-	if err := run(budget, *out); err != nil {
+	if err := run(budget, *out, *batchOut, batchFields); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcore:", err)
 		os.Exit(1)
 	}

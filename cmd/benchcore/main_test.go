@@ -17,7 +17,8 @@ func TestRunEmitsValidReport(t *testing.T) {
 		t.Skip("measurement pass skipped in short mode")
 	}
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(2*time.Millisecond, out); err != nil {
+	batchOut := filepath.Join(t.TempDir(), "bench_batch.json")
+	if err := run(2*time.Millisecond, out, batchOut, 4); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(out)
@@ -63,5 +64,29 @@ func TestRunEmitsValidReport(t *testing.T) {
 		if !(r.GBPerS > 0) {
 			t.Errorf("%s: non-positive throughput", r.Name)
 		}
+	}
+
+	// Batch report schema: every executor reports both ops with positive
+	// throughput on both sides of the batch-vs-per-field comparison.
+	bbuf, err := os.ReadFile(batchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brep BatchReport
+	if err := json.Unmarshal(bbuf, &brep); err != nil {
+		t.Fatalf("invalid batch JSON: %v", err)
+	}
+	if len(brep.Results) == 0 {
+		t.Fatal("empty batch report")
+	}
+	ops := map[string]int{}
+	for _, r := range brep.Results {
+		if !(r.PerFieldGBPS > 0) || !(r.BatchGBPS > 0) || !(r.Speedup > 0) {
+			t.Errorf("batch %s/%s: non-positive measurement %+v", r.Executor, r.Op, r)
+		}
+		ops[r.Op]++
+	}
+	if ops["compress"] == 0 || ops["decompress"] == 0 {
+		t.Errorf("batch report missing an op side: %v", ops)
 	}
 }

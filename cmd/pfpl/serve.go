@@ -34,6 +34,9 @@ func serveMain(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	batchFields := fs.Int("batch-max-fields", 0, "flush a /v1/batch coalescing window at this many requests (0 = default)")
+	batchBytes := fs.Int64("batch-max-bytes", 0, "flush a /v1/batch window at this many summed raw bytes (0 = default)")
+	batchLinger := fs.Duration("batch-linger", 0, "how long the first /v1/batch request waits for company (0 = default; negative disables coalescing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +52,9 @@ func serveMain(args []string) error {
 		RequestTimeout:   *reqTimeout,
 		EnablePprof:      *enablePprof,
 		Logger:           logger,
+		BatchMaxFields:   *batchFields,
+		BatchMaxBytes:    *batchBytes,
+		BatchLinger:      *batchLinger,
 	})
 	defer srv.Close()
 	srv.Metrics().Publish("pfpl")

@@ -1,0 +1,115 @@
+package pfpl
+
+import (
+	"math"
+	"testing"
+)
+
+// Batch fuzz targets: decoding arbitrary bytes as a batch container must
+// never panic or allocate beyond what the validated index admits, and the
+// batch round trip must honor the bound on arbitrary values and arbitrary
+// field splits.
+
+// FuzzDecodeBatchCorrupt drives the batch decode surface with mutated
+// containers. Seeds cover valid containers in both precisions, a checksummed
+// container, a truncated index table, and a count-overflow header claiming
+// more fields than the buffer can hold — the allocation-bomb shape the index
+// validation exists to reject.
+func FuzzDecodeBatchCorrupt(f *testing.F) {
+	fields := [][]float32{{1, 2, 3}, {}, {math.Pi, float32(math.NaN()), float32(math.Inf(1))}}
+	valid, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:12])           // header only, index table gone
+	f.Add(valid[:12+40-7])      // index table truncated mid-entry
+	f.Add(valid[:len(valid)-3]) // payload truncated
+	overflow := append([]byte{}, valid...)
+	overflow[8], overflow[9], overflow[10], overflow[11] = 0xFF, 0xFF, 0xFF, 0xFF // count overflow
+	f.Add(overflow)
+
+	valid64, err := CompressBatch64([][]float64{{1.5, -2.5}, {math.Inf(-1)}}, Options{Mode: REL, Bound: 1e-2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid64)
+	summed, err := CompressBatch32(fields, Options{Mode: ABS, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(summed)
+	f.Add([]byte("PFBC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecompressBatch32(data, Options{})
+		_, _ = DecompressBatch64(data, Options{})
+		_ = IsBatch(data)
+		b, err := OpenBatch(data)
+		if err != nil {
+			return
+		}
+		for i := 0; i < b.Count(); i++ {
+			info := b.Info(i)
+			if info.Count < 0 {
+				t.Fatalf("field %d: negative count %d from validated index", i, info.Count)
+			}
+			_, _ = b.Field(i)
+			if b.Double() {
+				_, _ = b.Field64(i, nil, Options{})
+			} else {
+				_, _ = b.Field32(i, nil, Options{})
+			}
+		}
+	})
+}
+
+// FuzzBatchRoundtrip32 compresses arbitrary values under an arbitrary field
+// split and mode, and requires the batch round trip to return every field at
+// full length within its bound.
+func FuzzBatchRoundtrip32(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 0, 0, 64, 64}, uint8(0), uint8(3))
+	f.Add(le32(0x7FC00000, 0x7F800000, 0xFF800000, 0x00000001), uint8(1), uint8(2)) // specials split across fields
+	f.Add(le32(0x00000000, 0x80000000), uint8(2), uint8(5))                         // signed zeros, more fields than values
+	f.Add([]byte{}, uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, modeRaw, splitRaw uint8) {
+		mode := Mode(modeRaw % 3)
+		vals := make([]float32, len(raw)/4)
+		for i := range vals {
+			bits := uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+			vals[i] = math.Float32frombits(bits)
+		}
+		// Split into 1..8 contiguous fields; trailing fields may be empty.
+		n := 1 + int(splitRaw%8)
+		fields := make([][]float32, n)
+		per := len(vals) / n
+		for i := range fields {
+			lo := i * per
+			hi := lo + per
+			if i == n-1 {
+				hi = len(vals)
+			}
+			fields[i] = vals[lo:hi]
+		}
+		comp, err := CompressBatch32(fields, Options{Mode: mode, Bound: 1e-3})
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		dec, err := DecompressBatch32(comp, Options{})
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if len(dec) != n {
+			t.Fatalf("decoded %d fields, want %d", len(dec), n)
+		}
+		for i, fv := range fields {
+			if len(dec[i]) != len(fv) {
+				t.Fatalf("field %d: length %d != %d", i, len(dec[i]), len(fv))
+			}
+			if v := VerifyBound(fv, dec[i], mode, 1e-3); v != 0 {
+				t.Fatalf("field %d: %d bound violations (mode %v)", i, v, mode)
+			}
+		}
+	})
+}

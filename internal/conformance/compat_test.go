@@ -155,3 +155,61 @@ func TestStreamCompatFixtures(t *testing.T) {
 		t.Fatal("empty compat manifest; regenerate with -update")
 	}
 }
+
+// TestBatchMagicDisjoint pins the container-dispatch contract the batch
+// format added: single-field streams ("PFPL") and batch containers ("PFBC")
+// are disjoint magics, so every committed fixture and every freshly encoded
+// single-field stream must answer false to IsBatch, keep decoding through the
+// single-field API unchanged, and be rejected by the batch decoder rather
+// than misparsed.
+func TestBatchMagicDisjoint(t *testing.T) {
+	// Committed past-build fixtures: the batch format must not have
+	// re-interpreted any of them.
+	names, err := filepath.Glob(filepath.Join(compatDir, "*.pfpls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no committed compat fixtures found")
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pfpl.IsBatch(data) {
+			t.Errorf("%s: committed single-field stream fixture identified as a batch container", filepath.Base(name))
+		}
+	}
+
+	// Freshly encoded single-field containers in every config: IsBatch false,
+	// batch decode rejected, single-field decode unchanged.
+	for _, cfg := range Configs() {
+		e := genEntry("probe", 1000, 0xD15, genSmooth)
+		comp, err := pfpl.Compress32(e.F32, pfpl.Options{Mode: cfg.Mode, Bound: cfg.Bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pfpl.IsBatch(comp) {
+			t.Errorf("%s: single-field stream identified as a batch container", cfg.Name())
+		}
+		if _, err := pfpl.DecompressBatch32(comp, pfpl.Options{}); err == nil {
+			t.Errorf("%s: batch decoder accepted a single-field stream", cfg.Name())
+		}
+		if _, err := pfpl.Decompress32(comp, nil, pfpl.Options{}); err != nil {
+			t.Errorf("%s: single-field decode broke: %v", cfg.Name(), err)
+		}
+		// And the inverse: a batch container must be rejected by the
+		// single-field decoder.
+		batch, err := pfpl.CompressBatch32([][]float32{e.F32}, pfpl.Options{Mode: cfg.Mode, Bound: cfg.Bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pfpl.IsBatch(batch) {
+			t.Errorf("%s: batch container not identified by IsBatch", cfg.Name())
+		}
+		if _, err := pfpl.Decompress32(batch, nil, pfpl.Options{}); err == nil {
+			t.Errorf("%s: single-field decoder accepted a batch container", cfg.Name())
+		}
+	}
+}

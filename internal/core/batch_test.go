@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// batchFields returns a small adversarial field set: empty, tiny, chunk-edge
+// and multi-chunk lengths, including special values.
+func batchFields(t *testing.T) [][]float32 {
+	t.Helper()
+	mk := func(n int, f func(i int) float32) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	smooth := func(i int) float32 { return float32(math.Sin(float64(i) * 0.01)) }
+	return [][]float32{
+		{},
+		{1.5},
+		mk(ChunkWords32-1, smooth),
+		mk(ChunkWords32+1, smooth),
+		mk(100, func(i int) float32 {
+			switch i % 5 {
+			case 0:
+				return float32(math.NaN())
+			case 1:
+				return float32(math.Inf(1))
+			}
+			return smooth(i)
+		}),
+	}
+}
+
+func packTestBatch(t *testing.T, fields [][]float32, mode Mode, bound float64) []byte {
+	t.Helper()
+	comps := make([][]byte, len(fields))
+	for i, f := range fields {
+		c, err := CompressSerial32(f, mode, bound)
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+		comps[i] = c
+	}
+	buf, err := PackBatch(comps, false)
+	if err != nil {
+		t.Fatalf("PackBatch: %v", err)
+	}
+	return buf
+}
+
+func TestBatchRoundtrip(t *testing.T) {
+	fields := batchFields(t)
+	buf := packTestBatch(t, fields, ABS, 1e-3)
+	if !IsBatch(buf) {
+		t.Fatal("IsBatch = false on a batch container")
+	}
+	bh, err := ParseBatchHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh.NumFields != len(fields) || bh.Prec64 {
+		t.Fatalf("header = %+v, want %d f32 fields", bh, len(fields))
+	}
+	entries, payload, err := BatchIndexTable(buf, &bh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fields {
+		if entries[i].Values != uint64(len(f)) {
+			t.Fatalf("entry %d values = %d, want %d", i, entries[i].Values, len(f))
+		}
+		fc := FieldContainer(entries, payload, i)
+		h, err := ParseHeader(fc)
+		if err != nil {
+			t.Fatalf("field %d header: %v", i, err)
+		}
+		if err := CheckFieldHeader(&entries[i], &h, false); err != nil {
+			t.Fatalf("field %d cross-check: %v", i, err)
+		}
+		got, err := DecompressSerial32(fc, nil)
+		if err != nil {
+			t.Fatalf("field %d decode: %v", i, err)
+		}
+		if len(got) != len(f) {
+			t.Fatalf("field %d: %d values, want %d", i, len(got), len(f))
+		}
+		for j := range f {
+			d := float64(f[j]) - float64(got[j])
+			if f[j] != f[j] {
+				if got[j] == got[j] {
+					t.Fatalf("field %d[%d]: NaN decoded to %v", i, j, got[j])
+				}
+				continue
+			}
+			if math.IsInf(float64(f[j]), 0) {
+				if got[j] != f[j] {
+					t.Fatalf("field %d[%d]: Inf not preserved", i, j)
+				}
+				continue
+			}
+			if math.Abs(d) > 1e-3 {
+				t.Fatalf("field %d[%d]: |%v-%v| > bound", i, j, f[j], got[j])
+			}
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	buf, err := PackBatch(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := ParseBatchHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh.NumFields != 0 || !bh.Prec64 {
+		t.Fatalf("header = %+v, want 0 f64 fields", bh)
+	}
+	entries, payload, err := BatchIndexTable(buf, &bh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || len(payload) != 0 {
+		t.Fatalf("want empty index and payload, got %d/%d", len(entries), len(payload))
+	}
+}
+
+func TestBatchChecksum(t *testing.T) {
+	buf := packTestBatch(t, batchFields(t), REL, 1e-2)
+	ck, err := AppendBatchChecksum(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasChecksum(ck) {
+		t.Fatal("checksum flag not set")
+	}
+	stripped, err := VerifyAndStripChecksum(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBatchHeader(stripped); err != nil {
+		t.Fatalf("stripped container no longer parses: %v", err)
+	}
+	ck[len(ck)/2] ^= 0x40
+	if _, err := VerifyAndStripChecksum(ck); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted checksummed batch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBatchCorrupt(t *testing.T) {
+	base := packTestBatch(t, batchFields(t), ABS, 1e-3)
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), base...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"short-header", base[:batchHeaderSize-1]},
+		{"bad-magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"bad-version", mutate(func(b []byte) []byte { b[4] = 9; return b })},
+		{"reserved-flag", mutate(func(b []byte) []byte { b[5] |= 0x40; return b })},
+		{"reserved-byte", mutate(func(b []byte) []byte { b[6] = 1; return b })},
+		{"count-overflow", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], math.MaxUint32)
+			return b
+		})},
+		{"truncated-index", base[:batchHeaderSize+batchEntrySize-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseBatchHeader(tc.buf); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+
+	tableCases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"values-over-cap", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[batchHeaderSize+16:], math.MaxUint64/2)
+			return b
+		})},
+		{"bad-mode", mutate(func(b []byte) []byte { b[batchHeaderSize+32] = 7; return b })},
+		{"gap-offset", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[batchHeaderSize+batchEntrySize:], 1)
+			return b
+		})},
+		{"length-overrun", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[batchHeaderSize+8:], uint64(len(b)))
+			return b
+		})},
+		{"payload-truncated", base[:len(base)-1]},
+		{"payload-extended", append(append([]byte(nil), base...), 0)},
+	}
+	for _, tc := range tableCases {
+		t.Run(tc.name, func(t *testing.T) {
+			bh, err := ParseBatchHeader(tc.buf)
+			if err != nil {
+				t.Fatalf("header should parse for %s: %v", tc.name, err)
+			}
+			if _, _, err := BatchIndexTable(tc.buf, &bh); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestBatchFieldHeaderMismatch(t *testing.T) {
+	base := packTestBatch(t, [][]float32{{1, 2, 3}}, ABS, 1e-3)
+	bh, err := ParseBatchHeader(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, payload, err := BatchIndexTable(base, &bh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(FieldContainer(entries, payload, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFieldHeader(&entries[0], &h, false); err != nil {
+		t.Fatalf("clean cross-check failed: %v", err)
+	}
+	bad := entries[0]
+	bad.Values++
+	if err := CheckFieldHeader(&bad, &h, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("values mismatch: err = %v, want ErrCorrupt", err)
+	}
+	bad = entries[0]
+	bad.Bound *= 2
+	if err := CheckFieldHeader(&bad, &h, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bound mismatch: err = %v, want ErrCorrupt", err)
+	}
+	if err := CheckFieldHeader(&entries[0], &h, true); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("precision mismatch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBatchPackRejectsMixedPrecision(t *testing.T) {
+	c32, err := CompressSerial32([]float32{1, 2}, ABS, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PackBatch([][]byte{c32}, true); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBatchEntryZeroAllocs is the zero-alloc guard for the //pfpl:hotpath
+// index entry codec: writing and reading an entry must not allocate.
+func TestBatchEntryZeroAllocs(t *testing.T) {
+	buf := AppendBatchHeader(nil, false, 4)
+	e := BatchEntry{Offset: 0, Length: 64, Values: 16, Bound: 1e-3, Mode: ABS}
+	allocs := testing.AllocsPerRun(100, func() {
+		PutBatchEntry(buf, 2, &e)
+		got := batchEntryAt(buf, 2)
+		if got.Length != e.Length {
+			t.Fatal("entry roundtrip mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("entry codec allocates %v times per op; hot path must be allocation-free", allocs)
+	}
+}

@@ -18,6 +18,10 @@ const checksumFlag = 0x10
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// crc32Checksum is the CRC-32C of b under the stream trailer's polynomial,
+// shared by the single-field and batch checksum writers.
+func crc32Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
 // AppendChecksum marks the stream's header and appends the CRC-32C of the
 // marked stream. The input must be a valid container.
 func AppendChecksum(buf []byte) ([]byte, error) {

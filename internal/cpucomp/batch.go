@@ -1,0 +1,461 @@
+package cpucomp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pfpl/internal/core"
+	"pfpl/internal/obs"
+)
+
+// Batch execution: all fields of a batch are compressed (or decompressed)
+// through ONE dispatch instead of one per field. The per-field path pays a
+// pool dispatch — goroutine handoff, carry setup, scratch warmup — for every
+// field, which is exactly the wrong cost model for DAQ-style workloads of
+// thousands of 16 kB buffers. Here the work queue is the flattened list of
+// every field's chunks: workers pull global chunk indices from one atomic
+// counter, locate the owning field by binary search over the cumulative
+// chunk-start table, and emit through that field's own carry chain. Chunk
+// placement inside each field is therefore untouched, so every field's
+// sub-container is bit-identical to the single-field compressor's output and
+// the assembled batch container is identical across executors and worker
+// counts.
+
+// fieldOfChunk locates the field owning global chunk g: the largest f with
+// starts[f] <= g, where starts[f] is field f's first global chunk index and
+// starts[len(starts)-1] is the total. Zero-chunk fields own no index and are
+// skipped naturally.
+//
+//pfpl:hotpath
+func fieldOfChunk(starts []int, g int) int {
+	lo, hi := 0, len(starts)-1
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// chunkStarts builds the cumulative chunk-start table over per-field chunk
+// counts; the last entry is the total chunk count.
+func chunkStarts(counts []int) []int {
+	starts := make([]int, len(counts)+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	return starts
+}
+
+// CompressBatch32 compresses all fields into one batch container with a
+// single dispatch (0 workers = GOMAXPROCS).
+func CompressBatch32(fields [][]float32, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	return compressBatch32(fields, mode, bound, Workers(workers), goDispatch, nil)
+}
+
+// CompressBatch32Traced is CompressBatch32 with per-chunk stage spans
+// recorded on rec (nil disables tracing at no cost).
+func CompressBatch32Traced(fields [][]float32, mode core.Mode, bound float64, workers int, rec *obs.Recorder) ([]byte, error) {
+	return compressBatch32(fields, mode, bound, Workers(workers), goDispatch, rec)
+}
+
+// CompressBatch32 compresses all fields on the pool's workers with a single
+// dispatch.
+func (p *Pool) CompressBatch32(fields [][]float32, mode core.Mode, bound float64) ([]byte, error) {
+	return compressBatch32(fields, mode, bound, p.size, p.dispatch, nil)
+}
+
+// CompressBatch32Traced is the pool CompressBatch32 with tracing.
+func (p *Pool) CompressBatch32Traced(fields [][]float32, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	return compressBatch32(fields, mode, bound, p.size, p.dispatch, rec)
+}
+
+type batchField32 struct {
+	src []float32
+	p   core.Params
+	out []byte
+	ca  *Carry
+}
+
+func compressBatch32(fields [][]float32, mode core.Mode, bound float64, nw int, disp dispatcher, rec *obs.Recorder) ([]byte, error) {
+	fs := make([]batchField32, len(fields))
+	counts := make([]int, len(fields))
+	for i, src := range fields {
+		// Per-field NOA range: the serial reduction — identical to every
+		// executor's (min/max reductions are association-free), and for the
+		// many-small-fields shape a parallel range per field would cost more
+		// dispatches than it saves.
+		var rng float64
+		if mode == core.NOA {
+			rng = core.Range32(src)
+		}
+		p, err := core.NewParams(mode, bound, rng, false)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		h := core.Header{
+			Mode:      mode,
+			Raw:       p.Raw,
+			Bound:     bound,
+			NOARange:  rng,
+			Count:     uint64(len(src)),
+			NumChunks: numChunks(len(src), core.ChunkWords32),
+		}
+		out := core.AppendHeader(nil, &h)
+		payloadStart := len(out)
+		out = append(out, make([]byte, len(src)*4)...) // worst case: all chunks raw
+		fs[i] = batchField32{src: src, p: p, out: out, ca: NewCarry(h.NumChunks, payloadStart)}
+		counts[i] = h.NumChunks
+	}
+	starts := chunkStarts(counts)
+	total := starts[len(starts)-1]
+
+	if total > 0 {
+		if nw > total {
+			nw = total
+		}
+		var next int64
+		wt := workerTracks{rec: rec}
+		disp(nw, func() {
+			var s core.Scratch32
+			s.Rec = rec
+			s.Track = wt.next()
+			for {
+				g64 := atomic.AddInt64(&next, 1) - 1
+				if g64 >= int64(total) {
+					return
+				}
+				g := int(g64)
+				f := fieldOfChunk(starts, g)
+				fd := &fs[f]
+				c := g - starts[f]
+				lo := c * core.ChunkWords32
+				hi := min(lo+core.ChunkWords32, len(fd.src))
+				//pfpl:ignore intwidth c is a chunk index within one field, below its uint32 chunk table size
+				s.Unit = int32(c)
+				payload, raw := core.EncodeChunk32(&fd.p, fd.src[lo:hi], &s)
+				core.PutChunkSize(fd.out, c, len(payload), raw)
+				t := rec.Now()
+				start := fd.ca.Wait(c)
+				t = rec.StageSpan(obs.StageCarryWait, s.Track, s.Unit, t)
+				copy(fd.out[start:], payload)
+				fd.ca.Publish(c, start+int64(len(payload)))
+				rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
+			}
+		})
+	}
+
+	comps := make([][]byte, len(fields))
+	for i := range fs {
+		end := len(fs[i].out) - len(fs[i].src)*4 // payload start
+		if counts[i] > 0 {
+			//pfpl:ignore intwidth Wait returns a byte offset into out, bounded by len(out)
+			end = int(fs[i].ca.Wait(counts[i]))
+		}
+		comps[i] = fs[i].out[:end]
+	}
+	return core.PackBatch(comps, false)
+}
+
+// CompressBatch64 is the double-precision counterpart of CompressBatch32.
+func CompressBatch64(fields [][]float64, mode core.Mode, bound float64, workers int) ([]byte, error) {
+	return compressBatch64(fields, mode, bound, Workers(workers), goDispatch, nil)
+}
+
+// CompressBatch64Traced is CompressBatch64 with per-chunk stage spans
+// recorded on rec (nil disables tracing at no cost).
+func CompressBatch64Traced(fields [][]float64, mode core.Mode, bound float64, workers int, rec *obs.Recorder) ([]byte, error) {
+	return compressBatch64(fields, mode, bound, Workers(workers), goDispatch, rec)
+}
+
+// CompressBatch64 compresses all fields on the pool's workers with a single
+// dispatch.
+func (p *Pool) CompressBatch64(fields [][]float64, mode core.Mode, bound float64) ([]byte, error) {
+	return compressBatch64(fields, mode, bound, p.size, p.dispatch, nil)
+}
+
+// CompressBatch64Traced is the pool CompressBatch64 with tracing.
+func (p *Pool) CompressBatch64Traced(fields [][]float64, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	return compressBatch64(fields, mode, bound, p.size, p.dispatch, rec)
+}
+
+type batchField64 struct {
+	src []float64
+	p   core.Params
+	out []byte
+	ca  *Carry
+}
+
+func compressBatch64(fields [][]float64, mode core.Mode, bound float64, nw int, disp dispatcher, rec *obs.Recorder) ([]byte, error) {
+	fs := make([]batchField64, len(fields))
+	counts := make([]int, len(fields))
+	for i, src := range fields {
+		var rng float64
+		if mode == core.NOA {
+			rng = core.Range64(src)
+		}
+		p, err := core.NewParams(mode, bound, rng, true)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		h := core.Header{
+			Mode:      mode,
+			Prec64:    true,
+			Raw:       p.Raw,
+			Bound:     bound,
+			NOARange:  rng,
+			Count:     uint64(len(src)),
+			NumChunks: numChunks(len(src), core.ChunkWords64),
+		}
+		out := core.AppendHeader(nil, &h)
+		payloadStart := len(out)
+		out = append(out, make([]byte, len(src)*8)...)
+		fs[i] = batchField64{src: src, p: p, out: out, ca: NewCarry(h.NumChunks, payloadStart)}
+		counts[i] = h.NumChunks
+	}
+	starts := chunkStarts(counts)
+	total := starts[len(starts)-1]
+
+	if total > 0 {
+		if nw > total {
+			nw = total
+		}
+		var next int64
+		wt := workerTracks{rec: rec}
+		disp(nw, func() {
+			var s core.Scratch64
+			s.Rec = rec
+			s.Track = wt.next()
+			for {
+				g64 := atomic.AddInt64(&next, 1) - 1
+				if g64 >= int64(total) {
+					return
+				}
+				g := int(g64)
+				f := fieldOfChunk(starts, g)
+				fd := &fs[f]
+				c := g - starts[f]
+				lo := c * core.ChunkWords64
+				hi := min(lo+core.ChunkWords64, len(fd.src))
+				//pfpl:ignore intwidth c is a chunk index within one field, below its uint32 chunk table size
+				s.Unit = int32(c)
+				payload, raw := core.EncodeChunk64(&fd.p, fd.src[lo:hi], &s)
+				core.PutChunkSize(fd.out, c, len(payload), raw)
+				t := rec.Now()
+				start := fd.ca.Wait(c)
+				t = rec.StageSpan(obs.StageCarryWait, s.Track, s.Unit, t)
+				copy(fd.out[start:], payload)
+				fd.ca.Publish(c, start+int64(len(payload)))
+				rec.StageSpan(obs.StageEmit, s.Track, s.Unit, t)
+			}
+		})
+	}
+
+	comps := make([][]byte, len(fields))
+	for i := range fs {
+		end := len(fs[i].out) - len(fs[i].src)*8
+		if counts[i] > 0 {
+			//pfpl:ignore intwidth Wait returns a byte offset into out, bounded by len(out)
+			end = int(fs[i].ca.Wait(counts[i]))
+		}
+		comps[i] = fs[i].out[:end]
+	}
+	return core.PackBatch(comps, true)
+}
+
+// batchDecodeState32 is one field's decode context.
+type batchDecodeState32 struct {
+	p       core.Params
+	offsets []int
+	lengths []int
+	raws    []bool
+	payload []byte
+	dst     []float32
+	n       int
+}
+
+// DecompressBatch32 decodes a batch container into per-field slices with a
+// single dispatch over all fields' chunks (0 workers = GOMAXPROCS).
+func DecompressBatch32(buf []byte, workers int) ([][]float32, error) {
+	return decompressBatch32(buf, Workers(workers), goDispatch, nil)
+}
+
+// DecompressBatch32Traced is DecompressBatch32 with per-chunk decode spans
+// recorded on rec (nil disables tracing at no cost).
+func DecompressBatch32Traced(buf []byte, workers int, rec *obs.Recorder) ([][]float32, error) {
+	return decompressBatch32(buf, Workers(workers), goDispatch, rec)
+}
+
+// DecompressBatch32 decodes a batch container on the pool's workers.
+func (p *Pool) DecompressBatch32(buf []byte) ([][]float32, error) {
+	return decompressBatch32(buf, p.size, p.dispatch, nil)
+}
+
+// DecompressBatch32Traced is the pool DecompressBatch32 with tracing.
+func (p *Pool) DecompressBatch32Traced(buf []byte, rec *obs.Recorder) ([][]float32, error) {
+	return decompressBatch32(buf, p.size, p.dispatch, rec)
+}
+
+func decompressBatch32(buf []byte, nw int, disp dispatcher, rec *obs.Recorder) ([][]float32, error) {
+	bh, err := core.ParseBatchHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if bh.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	entries, payload, err := core.BatchIndexTable(buf, &bh)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]batchDecodeState32, bh.NumFields)
+	counts := make([]int, bh.NumFields)
+	out := make([][]float32, bh.NumFields)
+	for i := range entries {
+		fc := core.FieldContainer(entries, payload, i)
+		h, err := core.ParseHeader(fc)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		if err := core.CheckFieldHeader(&entries[i], &h, false); err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		p, err := core.ParamsForHeader(&h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		// Chunk-table validation precedes the dst allocation, the same
+		// order every single-field decoder follows.
+		offsets, lengths, raws, fpayload, err := core.ChunkTable(fc, &h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		n := h.Len()
+		states[i] = batchDecodeState32{
+			p: p, offsets: offsets, lengths: lengths, raws: raws,
+			payload: fpayload, dst: make([]float32, n), n: n,
+		}
+		counts[i] = h.NumChunks
+		out[i] = states[i].dst
+	}
+	starts := chunkStarts(counts)
+	total := starts[len(starts)-1]
+	if total == 0 {
+		return out, nil
+	}
+	if nw > total {
+		nw = total
+	}
+	err = parallelChunks(total, nw, disp, rec, func(g int, s *core.Scratch32, _ *core.Scratch64) error {
+		f := fieldOfChunk(starts, g)
+		st := &states[f]
+		c := g - starts[f]
+		lo := c * core.ChunkWords32
+		hi := min(lo+core.ChunkWords32, st.n)
+		pl := st.payload[st.offsets[c] : st.offsets[c]+st.lengths[c]]
+		return core.DecodeChunk32(&st.p, pl, st.raws[c], st.dst[lo:hi], s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type batchDecodeState64 struct {
+	p       core.Params
+	offsets []int
+	lengths []int
+	raws    []bool
+	payload []byte
+	dst     []float64
+	n       int
+}
+
+// DecompressBatch64 decodes a double-precision batch container with a single
+// dispatch (0 workers = GOMAXPROCS).
+func DecompressBatch64(buf []byte, workers int) ([][]float64, error) {
+	return decompressBatch64(buf, Workers(workers), goDispatch, nil)
+}
+
+// DecompressBatch64Traced is DecompressBatch64 with per-chunk decode spans
+// recorded on rec (nil disables tracing at no cost).
+func DecompressBatch64Traced(buf []byte, workers int, rec *obs.Recorder) ([][]float64, error) {
+	return decompressBatch64(buf, Workers(workers), goDispatch, rec)
+}
+
+// DecompressBatch64 decodes a double-precision batch container on the
+// pool's workers.
+func (p *Pool) DecompressBatch64(buf []byte) ([][]float64, error) {
+	return decompressBatch64(buf, p.size, p.dispatch, nil)
+}
+
+// DecompressBatch64Traced is the pool DecompressBatch64 with tracing.
+func (p *Pool) DecompressBatch64Traced(buf []byte, rec *obs.Recorder) ([][]float64, error) {
+	return decompressBatch64(buf, p.size, p.dispatch, rec)
+}
+
+func decompressBatch64(buf []byte, nw int, disp dispatcher, rec *obs.Recorder) ([][]float64, error) {
+	bh, err := core.ParseBatchHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !bh.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	entries, payload, err := core.BatchIndexTable(buf, &bh)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]batchDecodeState64, bh.NumFields)
+	counts := make([]int, bh.NumFields)
+	out := make([][]float64, bh.NumFields)
+	for i := range entries {
+		fc := core.FieldContainer(entries, payload, i)
+		h, err := core.ParseHeader(fc)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		if err := core.CheckFieldHeader(&entries[i], &h, true); err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		p, err := core.ParamsForHeader(&h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		offsets, lengths, raws, fpayload, err := core.ChunkTable(fc, &h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		n := h.Len()
+		states[i] = batchDecodeState64{
+			p: p, offsets: offsets, lengths: lengths, raws: raws,
+			payload: fpayload, dst: make([]float64, n), n: n,
+		}
+		counts[i] = h.NumChunks
+		out[i] = states[i].dst
+	}
+	starts := chunkStarts(counts)
+	total := starts[len(starts)-1]
+	if total == 0 {
+		return out, nil
+	}
+	if nw > total {
+		nw = total
+	}
+	err = parallelChunks(total, nw, disp, rec, func(g int, _ *core.Scratch32, s *core.Scratch64) error {
+		f := fieldOfChunk(starts, g)
+		st := &states[f]
+		c := g - starts[f]
+		lo := c * core.ChunkWords64
+		hi := min(lo+core.ChunkWords64, st.n)
+		pl := st.payload[st.offsets[c] : st.offsets[c]+st.lengths[c]]
+		return core.DecodeChunk64(&st.p, pl, st.raws[c], st.dst[lo:hi], s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,402 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pfpl/internal/core"
+	"pfpl/internal/obs"
+)
+
+// Persistent-grid batch execution. The real LCLS deployment amortizes launch
+// overhead for thousands of small fields by capturing the per-field kernel
+// sequence in a CUDA graph and replaying it; the analog here is ONE resident
+// grid whose blocks consume a queue spanning every field's chunks, so the
+// simulator pays a single launch (one worker spawn + one barrier) per batch
+// instead of one per field. A block maps its global index to the owning field
+// by binary search over the cumulative chunk-start table, encodes through
+// that field's own decoupled look-back chain, and writes into that field's
+// private payload region — chunk placement inside each field is exactly the
+// single-field kernel's, so every field sub-container is bit-identical to the
+// per-field compressor output and the assembled batch container matches the
+// CPU executors byte for byte.
+
+// fieldOfBlock locates the field owning global block g: the largest f with
+// starts[f] <= g. Mirrors cpucomp's lookup; duplicated because the two
+// executors are sibling packages with no shared scheduling layer.
+//
+//pfpl:hotpath
+func fieldOfBlock(starts []int, g int) int {
+	lo, hi := 0, len(starts)-1
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// blockStarts builds the cumulative block-start table over per-field chunk
+// counts; the last entry is the total block count of the persistent grid.
+func blockStarts(counts []int) []int {
+	starts := make([]int, len(counts)+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	return starts
+}
+
+// CompressBatch32 compresses all fields into one batch container with a
+// single persistent-grid launch on the simulated device.
+func CompressBatch32(m DeviceModel, fields [][]float32, mode core.Mode, bound float64) ([]byte, error) {
+	return CompressBatch32Traced(m, fields, mode, bound, nil)
+}
+
+type batchGrid32 struct {
+	src          []float32
+	p            core.Params
+	out          []byte
+	payloadStart int
+	lb           *Lookback
+}
+
+// CompressBatch32Traced is CompressBatch32 with per-block kernel-phase spans
+// recorded on rec (nil disables tracing at no cost). Each simulated SM keeps
+// one track across the whole batch — the persistent-grid shape means an SM's
+// lane interleaves blocks of many fields, as the real device's would.
+func CompressBatch32Traced(m DeviceModel, fields [][]float32, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	fs := make([]batchGrid32, len(fields))
+	counts := make([]int, len(fields))
+	for i, src := range fields {
+		// Per-field NOA range via the serial reduction: min/max is
+		// association-free, so this equals the grid reduction bit for bit
+		// while skipping a per-field grid launch — the launch overhead the
+		// persistent grid exists to avoid.
+		var rng float64
+		if mode == core.NOA {
+			rng = core.Range32(src)
+		}
+		p, err := core.NewParams(mode, bound, rng, false)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		h := core.Header{
+			Mode:      mode,
+			Raw:       p.Raw,
+			Bound:     bound,
+			NOARange:  rng,
+			Count:     uint64(len(src)),
+			NumChunks: core.NumChunksFor(len(src), core.ChunkWords32),
+		}
+		out := core.AppendHeader(nil, &h)
+		payloadStart := len(out)
+		out = append(out, make([]byte, len(src)*4)...) // worst case: all chunks raw
+		fs[i] = batchGrid32{src: src, p: p, out: out, payloadStart: payloadStart, lb: NewLookback(h.NumChunks)}
+		counts[i] = h.NumChunks
+	}
+	starts := blockStarts(counts)
+	total := starts[len(starts)-1]
+
+	if total > 0 {
+		m.Grid(total, threadsPerBlock, func(sm int) func(*Block) {
+			s := newShared32(min(threadsPerBlock, m.MaxThreadsPerBlock))
+			s.rec = rec
+			s.track = smTrack(rec, sm)
+			return func(b *Block) {
+				g := b.Idx
+				f := fieldOfBlock(starts, g)
+				fd := &fs[f]
+				c := g - starts[f]
+				lo := c * core.ChunkWords32
+				hi := min(lo+core.ChunkWords32, len(fd.src))
+				//pfpl:ignore intwidth c is a chunk index within one field, below its uint32 chunk table size
+				s.unit = int32(c)
+				size, raw := encodeChunk32(b, &fd.p, fd.src[lo:hi], s)
+				core.PutChunkSize(fd.out, c, size, raw)
+				t := rec.Now()
+				prefix := fd.lb.ExclusivePrefix(c, int64(size))
+				t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
+				//pfpl:ignore intwidth prefix is a byte offset into out, bounded by len(out)
+				copy(fd.out[fd.payloadStart+int(prefix):], s.out[:size])
+				rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
+			}
+		})
+	}
+
+	comps := make([][]byte, len(fields))
+	for i := range fs {
+		//pfpl:ignore intwidth Total is the summed payload length, bounded by len(out)
+		comps[i] = fs[i].out[:fs[i].payloadStart+int(fs[i].lb.Total())]
+	}
+	return core.PackBatch(comps, false)
+}
+
+// CompressBatch64 is the double-precision counterpart of CompressBatch32.
+func CompressBatch64(m DeviceModel, fields [][]float64, mode core.Mode, bound float64) ([]byte, error) {
+	return CompressBatch64Traced(m, fields, mode, bound, nil)
+}
+
+type batchGrid64 struct {
+	src          []float64
+	p            core.Params
+	out          []byte
+	payloadStart int
+	lb           *Lookback
+}
+
+// CompressBatch64Traced is CompressBatch64 with tracing.
+func CompressBatch64Traced(m DeviceModel, fields [][]float64, mode core.Mode, bound float64, rec *obs.Recorder) ([]byte, error) {
+	fs := make([]batchGrid64, len(fields))
+	counts := make([]int, len(fields))
+	for i, src := range fields {
+		var rng float64
+		if mode == core.NOA {
+			rng = core.Range64(src)
+		}
+		p, err := core.NewParams(mode, bound, rng, true)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		h := core.Header{
+			Mode:      mode,
+			Prec64:    true,
+			Raw:       p.Raw,
+			Bound:     bound,
+			NOARange:  rng,
+			Count:     uint64(len(src)),
+			NumChunks: core.NumChunksFor(len(src), core.ChunkWords64),
+		}
+		out := core.AppendHeader(nil, &h)
+		payloadStart := len(out)
+		out = append(out, make([]byte, len(src)*8)...)
+		fs[i] = batchGrid64{src: src, p: p, out: out, payloadStart: payloadStart, lb: NewLookback(h.NumChunks)}
+		counts[i] = h.NumChunks
+	}
+	starts := blockStarts(counts)
+	total := starts[len(starts)-1]
+
+	if total > 0 {
+		m.Grid(total, threadsPerBlock, func(sm int) func(*Block) {
+			s := newShared64(min(threadsPerBlock, m.MaxThreadsPerBlock))
+			s.rec = rec
+			s.track = smTrack(rec, sm)
+			return func(b *Block) {
+				g := b.Idx
+				f := fieldOfBlock(starts, g)
+				fd := &fs[f]
+				c := g - starts[f]
+				lo := c * core.ChunkWords64
+				hi := min(lo+core.ChunkWords64, len(fd.src))
+				//pfpl:ignore intwidth c is a chunk index within one field, below its uint32 chunk table size
+				s.unit = int32(c)
+				size, raw := encodeChunk64(b, &fd.p, fd.src[lo:hi], s)
+				core.PutChunkSize(fd.out, c, size, raw)
+				t := rec.Now()
+				prefix := fd.lb.ExclusivePrefix(c, int64(size))
+				t = rec.StageSpan(obs.StageCarryWait, s.track, s.unit, t)
+				//pfpl:ignore intwidth prefix is a byte offset into out, bounded by len(out)
+				copy(fd.out[fd.payloadStart+int(prefix):], s.out[:size])
+				rec.StageSpan(obs.StageEmit, s.track, s.unit, t)
+			}
+		})
+	}
+
+	comps := make([][]byte, len(fields))
+	for i := range fs {
+		//pfpl:ignore intwidth Total is the summed payload length, bounded by len(out)
+		comps[i] = fs[i].out[:fs[i].payloadStart+int(fs[i].lb.Total())]
+	}
+	return core.PackBatch(comps, true)
+}
+
+type batchDecodeGrid32 struct {
+	p       core.Params
+	offsets []int
+	lengths []int
+	raws    []bool
+	payload []byte
+	dst     []float32
+	n       int
+}
+
+// DecompressBatch32 decodes a batch container on the simulated device with a
+// single persistent-grid launch over all fields' chunks.
+func DecompressBatch32(m DeviceModel, buf []byte) ([][]float32, error) {
+	return DecompressBatch32Traced(m, buf, nil)
+}
+
+// DecompressBatch32Traced is DecompressBatch32 with per-block decode spans
+// recorded on rec (nil disables tracing at no cost).
+func DecompressBatch32Traced(m DeviceModel, buf []byte, rec *obs.Recorder) ([][]float32, error) {
+	bh, err := core.ParseBatchHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if bh.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	entries, payload, err := core.BatchIndexTable(buf, &bh)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]batchDecodeGrid32, bh.NumFields)
+	counts := make([]int, bh.NumFields)
+	out := make([][]float32, bh.NumFields)
+	for i := range entries {
+		fc := core.FieldContainer(entries, payload, i)
+		h, err := core.ParseHeader(fc)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		if err := core.CheckFieldHeader(&entries[i], &h, false); err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		p, err := core.ParamsForHeader(&h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		// Chunk-table validation precedes the dst allocation, the same order
+		// every single-field decoder follows.
+		offsets, lengths, raws, fpayload, err := core.ChunkTable(fc, &h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		n := h.Len()
+		states[i] = batchDecodeGrid32{
+			p: p, offsets: offsets, lengths: lengths, raws: raws,
+			payload: fpayload, dst: make([]float32, n), n: n,
+		}
+		counts[i] = h.NumChunks
+		out[i] = states[i].dst
+	}
+	starts := blockStarts(counts)
+	total := starts[len(starts)-1]
+	if total == 0 {
+		return out, nil
+	}
+	var firstErr atomic.Value
+	m.Grid(total, threadsPerBlock, func(sm int) func(*Block) {
+		s := newShared32(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		track := smTrack(rec, sm)
+		return func(b *Block) {
+			g := b.Idx
+			f := fieldOfBlock(starts, g)
+			st := &states[f]
+			c := g - starts[f]
+			lo := c * core.ChunkWords32
+			hi := min(lo+core.ChunkWords32, st.n)
+			pl := st.payload[st.offsets[c] : st.offsets[c]+st.lengths[c]]
+			t := rec.Now()
+			if err := decodeChunk32(b, &st.p, pl, st.raws[c], st.dst[lo:hi], s); err != nil {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("batch field %d: %w", f, err))
+				return
+			}
+			outc := obs.OutcomeCompressed
+			if st.raws[c] {
+				outc = obs.OutcomeRaw
+			}
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(st.lengths[c]), (int64(hi)-int64(lo))*4)
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, err
+	}
+	return out, nil
+}
+
+type batchDecodeGrid64 struct {
+	p       core.Params
+	offsets []int
+	lengths []int
+	raws    []bool
+	payload []byte
+	dst     []float64
+	n       int
+}
+
+// DecompressBatch64 decodes a double-precision batch container on the
+// simulated device with a single persistent-grid launch.
+func DecompressBatch64(m DeviceModel, buf []byte) ([][]float64, error) {
+	return DecompressBatch64Traced(m, buf, nil)
+}
+
+// DecompressBatch64Traced is DecompressBatch64 with tracing.
+func DecompressBatch64Traced(m DeviceModel, buf []byte, rec *obs.Recorder) ([][]float64, error) {
+	bh, err := core.ParseBatchHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if !bh.Prec64 {
+		return nil, core.ErrCorrupt
+	}
+	entries, payload, err := core.BatchIndexTable(buf, &bh)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]batchDecodeGrid64, bh.NumFields)
+	counts := make([]int, bh.NumFields)
+	out := make([][]float64, bh.NumFields)
+	for i := range entries {
+		fc := core.FieldContainer(entries, payload, i)
+		h, err := core.ParseHeader(fc)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		if err := core.CheckFieldHeader(&entries[i], &h, true); err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		p, err := core.ParamsForHeader(&h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		offsets, lengths, raws, fpayload, err := core.ChunkTable(fc, &h)
+		if err != nil {
+			return nil, fmt.Errorf("batch field %d: %w", i, err)
+		}
+		n := h.Len()
+		states[i] = batchDecodeGrid64{
+			p: p, offsets: offsets, lengths: lengths, raws: raws,
+			payload: fpayload, dst: make([]float64, n), n: n,
+		}
+		counts[i] = h.NumChunks
+		out[i] = states[i].dst
+	}
+	starts := blockStarts(counts)
+	total := starts[len(starts)-1]
+	if total == 0 {
+		return out, nil
+	}
+	var firstErr atomic.Value
+	m.Grid(total, threadsPerBlock, func(sm int) func(*Block) {
+		s := newShared64(min(threadsPerBlock, m.MaxThreadsPerBlock))
+		track := smTrack(rec, sm)
+		return func(b *Block) {
+			g := b.Idx
+			f := fieldOfBlock(starts, g)
+			st := &states[f]
+			c := g - starts[f]
+			lo := c * core.ChunkWords64
+			hi := min(lo+core.ChunkWords64, st.n)
+			pl := st.payload[st.offsets[c] : st.offsets[c]+st.lengths[c]]
+			t := rec.Now()
+			if err := decodeChunk64(b, &st.p, pl, st.raws[c], st.dst[lo:hi], s); err != nil {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("batch field %d: %w", f, err))
+				return
+			}
+			outc := obs.OutcomeCompressed
+			if st.raws[c] {
+				outc = obs.OutcomeRaw
+			}
+			//pfpl:ignore intwidth c is a chunk index below NumChunks < 2^31 (uint32 table)
+			rec.StageSpanOutcome(obs.StageDecode, track, int32(c), t, outc, int64(st.lengths[c]), (int64(hi)-int64(lo))*8)
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, err
+	}
+	return out, nil
+}

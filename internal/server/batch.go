@@ -1,0 +1,334 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pfpl"
+	"pfpl/internal/core"
+)
+
+// POST /v1/batch: the many-small-fields path. DAQ-style clients fire
+// thousands of concurrent small compression requests; running each through
+// its own pipeline pays a pool dispatch and a pipeline slot per field.
+// Instead, concurrent /v1/batch requests with identical parameters coalesce
+// behind a short linger window into one batch, compressed through a single
+// pool dispatch holding a single pipeline slot. Each request still gets its
+// own response: the standalone per-field container sliced from the batch,
+// byte-identical to what an uncoalesced request would have produced, plus a
+// content digest header so caches can dedupe identical fields across
+// uploads. Admission is per request — each field reserves its own bytes on
+// arrival and releases them when its response is done — so one canceled
+// request frees exactly its own reservation and the rest of the batch is
+// untouched.
+
+// Batch coalescing defaults for the zero Config.
+const (
+	// DefaultBatchMaxFields flushes a pending batch at this many coalesced
+	// requests.
+	DefaultBatchMaxFields = 64
+	// DefaultBatchMaxBytes flushes a pending batch when the summed raw
+	// bodies reach this many bytes.
+	DefaultBatchMaxBytes = 8 << 20
+	// DefaultBatchLinger is how long the first request of a batch waits for
+	// company before flushing.
+	DefaultBatchLinger = 2 * time.Millisecond
+	// maxBatchFieldBytes caps one /v1/batch request body: the endpoint
+	// exists for small fields; large bodies belong on /v1/compress where
+	// they stream instead of buffering.
+	maxBatchFieldBytes = 16 << 20
+)
+
+// batchKey groups coalescible requests: only identical compression
+// parameters may share a batch container.
+type batchKey struct {
+	mode     pfpl.Mode
+	modeName string
+	bound    float64
+	double   bool
+	checksum bool
+}
+
+// batchMember is one request waiting in a pending batch.
+type batchMember struct {
+	vals32 []float32
+	vals64 []float64
+	result chan batchResult // buffered; the flusher never blocks on delivery
+}
+
+type batchResult struct {
+	data      []byte
+	coalesced int
+	err       error
+}
+
+// pendingBatch accumulates members until a flush trigger: member count,
+// summed bytes, or the linger deadline.
+type pendingBatch struct {
+	members []*batchMember
+	bytes   int64
+	timer   *time.Timer
+	flushed bool
+}
+
+// batcher owns the pending batches, one per parameter key.
+type batcher struct {
+	s  *Server
+	mu sync.Mutex
+	m  map[batchKey]*pendingBatch
+}
+
+func newBatcher(s *Server) *batcher {
+	return &batcher{s: s, m: make(map[batchKey]*pendingBatch)}
+}
+
+func (bc *batcher) maxFields() int {
+	if bc.s.cfg.BatchMaxFields > 0 {
+		return bc.s.cfg.BatchMaxFields
+	}
+	return DefaultBatchMaxFields
+}
+
+func (bc *batcher) maxBytes() int64 {
+	if bc.s.cfg.BatchMaxBytes > 0 {
+		return bc.s.cfg.BatchMaxBytes
+	}
+	return DefaultBatchMaxBytes
+}
+
+func (bc *batcher) linger() time.Duration {
+	if bc.s.cfg.BatchLinger != 0 {
+		return bc.s.cfg.BatchLinger
+	}
+	return DefaultBatchLinger
+}
+
+// add enqueues m under key and flushes if the batch hit a size trigger or
+// coalescing is disabled (negative linger). The first member arms the linger
+// timer.
+func (bc *batcher) add(key batchKey, m *batchMember, rawBytes int64) {
+	bc.mu.Lock()
+	pb := bc.m[key]
+	if pb == nil {
+		pb = &pendingBatch{}
+		bc.m[key] = pb
+		if lg := bc.linger(); lg > 0 {
+			pb.timer = time.AfterFunc(lg, func() { bc.flush(key, pb) })
+		}
+	}
+	pb.members = append(pb.members, m)
+	pb.bytes += rawBytes
+	full := len(pb.members) >= bc.maxFields() || pb.bytes >= bc.maxBytes() || bc.linger() < 0
+	bc.mu.Unlock()
+	if full {
+		bc.flush(key, pb)
+	}
+}
+
+// cancel removes m from its pending batch before the flush takes it,
+// reporting whether it was still pending. A false return means the flusher
+// already owns m and will deliver on its channel regardless.
+func (bc *batcher) cancel(key batchKey, m *batchMember) bool {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	pb := bc.m[key]
+	if pb == nil || pb.flushed {
+		return false
+	}
+	for i, other := range pb.members {
+		if other == m {
+			pb.members = append(pb.members[:i], pb.members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// flush detaches the batch and compresses it through one pool dispatch under
+// one pipeline slot, then delivers each member's standalone field container.
+func (bc *batcher) flush(key batchKey, pb *pendingBatch) {
+	bc.mu.Lock()
+	if pb.flushed {
+		bc.mu.Unlock()
+		return
+	}
+	pb.flushed = true
+	if bc.m[key] == pb {
+		delete(bc.m, key)
+	}
+	if pb.timer != nil {
+		pb.timer.Stop()
+	}
+	members := pb.members
+	bc.mu.Unlock()
+	if len(members) == 0 {
+		return
+	}
+
+	// One pipeline slot for the whole batch: this is the resource the
+	// coalescing saves, N concurrent small requests occupy one active
+	// pipeline instead of N.
+	bc.s.slots <- struct{}{}
+	defer func() { <-bc.s.slots }()
+
+	deliver := func(res batchResult) {
+		for _, m := range members {
+			m.result <- res
+		}
+	}
+	opts := pfpl.Options{Mode: key.mode, Bound: key.bound, Device: bc.s.dev}
+	var buf []byte
+	var err error
+	if key.double {
+		fields := make([][]float64, len(members))
+		for i, m := range members {
+			fields[i] = m.vals64
+		}
+		buf, err = pfpl.CompressBatch64(fields, opts)
+	} else {
+		fields := make([][]float32, len(members))
+		for i, m := range members {
+			fields[i] = m.vals32
+		}
+		buf, err = pfpl.CompressBatch32(fields, opts)
+	}
+	if err != nil {
+		deliver(batchResult{err: err})
+		return
+	}
+	b, err := pfpl.OpenBatch(buf)
+	if err != nil {
+		deliver(batchResult{err: err})
+		return
+	}
+	bc.s.reg.Histogram("batch.coalesced_fields").Observe(float64(len(members)))
+	for i, m := range members {
+		fc, err := b.Field(i)
+		if err != nil {
+			m.result <- batchResult{err: err}
+			continue
+		}
+		if key.checksum {
+			// Per-field trailer, applied after slicing: the response stays
+			// byte-identical to an uncoalesced Compress with Checksum set.
+			fc, err = core.AppendChecksum(fc)
+			if err != nil {
+				m.result <- batchResult{err: err}
+				continue
+			}
+		}
+		m.result <- batchResult{data: fc, coalesced: len(members)}
+	}
+}
+
+// errBatchTooLarge marks a /v1/batch body over the per-field cap.
+var errBatchTooLarge = errors.New("server: batch field exceeds the per-field byte cap")
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r, true)
+	if err != nil {
+		s.count("batch", p.modeName, "client_error")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.ContentLength > maxBatchFieldBytes {
+		s.count("batch", p.modeName, "too_large")
+		http.Error(w, errBatchTooLarge.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchFieldBytes+1))
+	if err != nil {
+		s.count("batch", p.modeName, "client_error")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > maxBatchFieldBytes {
+		s.count("batch", p.modeName, "too_large")
+		http.Error(w, errBatchTooLarge.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(body)%p.elemSize() != 0 {
+		s.count("batch", p.modeName, "client_error")
+		http.Error(w, errBadBody.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Per-request admission: the raw field plus worst-case output. Released
+	// when this response is done — a cancellation returns exactly this
+	// field's bytes, never the batch's.
+	reserve := 2 * int64(len(body))
+	if err := s.adm.Acquire(reserve); err != nil {
+		switch {
+		case errors.Is(err, ErrTooLarge):
+			s.count("batch", p.modeName, "too_large")
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		default:
+			s.count("batch", p.modeName, "saturated")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.RetryAfter(reserve))))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		}
+		return
+	}
+	t0 := time.Now()
+	defer func() { s.adm.Release(reserve, time.Since(t0)) }()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	key := batchKey{mode: p.mode, modeName: p.modeName, bound: p.bound, double: p.double, checksum: p.checksum}
+	m := &batchMember{result: make(chan batchResult, 1)}
+	if p.double {
+		m.vals64 = make([]float64, len(body)/8)
+		for i := range m.vals64 {
+			m.vals64[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+		}
+	} else {
+		m.vals32 = make([]float32, len(body)/4)
+		for i := range m.vals32 {
+			m.vals32[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
+		}
+	}
+	s.batch.add(key, m, int64(len(body)))
+
+	var res batchResult
+	select {
+	case res = <-m.result:
+	case <-ctx.Done():
+		if s.batch.cancel(key, m) {
+			// Still pending: this field leaves the batch; its reservation is
+			// released by the deferred Release above, nothing else changes.
+			s.count("batch", p.modeName, "canceled")
+			http.Error(w, ctx.Err().Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// The flusher already took the batch; its delivery is imminent and
+		// the buffered channel makes it non-blocking either way.
+		res = <-m.result
+	}
+	if res.err != nil {
+		s.finishError(w, "batch", p.modeName, false, res.err)
+		return
+	}
+	digest := core.FrameDigest(res.data)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.data)))
+	w.Header().Set("X-Pfpl-Digest", hex.EncodeToString(digest[:]))
+	w.Header().Set("X-Pfpl-Coalesced", strconv.Itoa(res.coalesced))
+	if _, err := w.Write(res.data); err != nil {
+		s.count("batch", p.modeName, "error")
+		return
+	}
+	s.count("batch", p.modeName, "ok")
+	s.reg.Counter("bytes.in").Add(int64(len(body)))
+	s.reg.Counter("bytes.out").Add(int64(len(res.data)))
+	s.reg.Histogram("latency_ns.batch").Observe(float64(time.Since(t0).Nanoseconds()))
+	if len(res.data) > 0 {
+		s.reg.Histogram("ratio.batch").Observe(float64(len(body)) / float64(len(res.data)))
+	}
+}

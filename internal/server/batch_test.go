@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"pfpl"
+)
+
+func f32Body(vals []float32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func batchVals(n int, seed float64) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(float64(i)*0.01 + seed))
+	}
+	return out
+}
+
+// TestBatchCoalescedByteIdentity: N concurrent /v1/batch requests coalesce
+// into one container, and each response is byte-identical to the same field
+// compressed alone — coalescing must be invisible in the bytes.
+func TestBatchCoalescedByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchLinger: 50 * time.Millisecond})
+	const n = 8
+	fields := make([][]float32, n)
+	for i := range fields {
+		fields[i] = batchVals(1000, float64(i))
+	}
+	got := make([][]byte, n)
+	coalesced := make([]string, n)
+	var wg sync.WaitGroup
+	for i := range fields {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(fields[i]))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("field %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if resp.Header.Get("X-Pfpl-Digest") == "" {
+				t.Errorf("field %d: missing digest header", i)
+			}
+			got[i] = body
+			coalesced[i] = resp.Header.Get("X-Pfpl-Coalesced")
+		}(i)
+	}
+	wg.Wait()
+	anyCoalesced := false
+	for i := range fields {
+		want, err := pfpl.Compress32(fields[i], pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("field %d: coalesced response differs from uncoalesced compression", i)
+		}
+		if coalesced[i] != "1" && coalesced[i] != "" {
+			anyCoalesced = true
+		}
+	}
+	if !anyCoalesced {
+		t.Log("no requests coalesced (scheduling); byte identity still verified")
+	}
+}
+
+// TestBatchChecksumByteIdentity: with checksum=1 each response carries the
+// same per-field CRC trailer an uncoalesced request would.
+func TestBatchChecksumByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchLinger: -1})
+	vals := batchVals(500, 0)
+	resp, body := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3&checksum=1", f32Body(vals))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	want, err := pfpl.Compress32(vals, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3, Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("checksummed batch response differs from uncoalesced compression")
+	}
+	if _, err := pfpl.Decompress32(body, nil, pfpl.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchLingerFlush: a lone request must not wait for a full window; the
+// linger deadline flushes it.
+func TestBatchLingerFlush(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchLinger: 5 * time.Millisecond, BatchMaxFields: 1000})
+	vals := batchVals(100, 0)
+	t0 := time.Now()
+	resp, body := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(vals))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if took := time.Since(t0); took > 3*time.Second {
+		t.Fatalf("lone request took %v; linger deadline did not flush", took)
+	}
+	if _, err := pfpl.Decompress32(body, nil, pfpl.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchFieldCountFlush: the window flushes as soon as BatchMaxFields
+// requests are pending, without waiting out a long linger.
+func TestBatchFieldCountFlush(t *testing.T) {
+	const n = 4
+	_, ts := newTestServer(t, Config{BatchLinger: 10 * time.Second, BatchMaxFields: n})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(batchVals(200, float64(i))))
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+	}
+	if took := time.Since(t0); took > 5*time.Second {
+		t.Fatalf("count-full window took %v; should flush on the %dth request", took, n)
+	}
+}
+
+// TestBatchBudgetExceeded: a request that cannot fit the admission budget
+// gets 429 + Retry-After (or 413 when it can never fit).
+func TestBatchBudgetExceeded(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflightBytes: 64, BatchLinger: -1})
+	resp, _ := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(batchVals(1000, 0)))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (reservation larger than the whole budget)", resp.StatusCode)
+	}
+
+	// A budget that fits one request but not two: saturate it with a slow
+	// in-flight request, then expect 429 with Retry-After.
+	s2, ts2 := newTestServer(t, Config{MaxInflightBytes: 1 << 20, BatchLinger: -1})
+	if err := s2.Admission().Acquire(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Admission().Release(1<<20, time.Millisecond)
+	resp2, _ := post(t, ts2.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(batchVals(1000, 0)))
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestBatchCancelReleasesOnlyThatField: a canceled request leaves the
+// window, frees its own admission bytes, and the surviving members still
+// get correct responses.
+func TestBatchCancelReleasesOnlyThatField(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchLinger: 300 * time.Millisecond, BatchMaxFields: 1000})
+	survivor := batchVals(400, 1)
+	doomed := batchVals(400, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	canceledErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/batch?mode=abs&bound=1e-3", bytes.NewReader(f32Body(doomed)))
+		_, err := http.DefaultClient.Do(req)
+		canceledErr <- err
+	}()
+	// Give the doomed request time to enter the window, then cancel it.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err := <-canceledErr; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+
+	resp, body := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-3", f32Body(survivor))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("survivor status %d: %s", resp.StatusCode, body)
+	}
+	want, err := pfpl.Compress32(survivor, pfpl.Options{Mode: pfpl.ABS, Bound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("survivor response differs after a neighbor canceled")
+	}
+	// All admission bytes drain back once responses complete.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Admission().Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight bytes stuck at %d after cancellation", s.Admission().Inflight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBatchBadRequests covers parameter and body validation.
+func TestBatchBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchLinger: -1})
+	cases := []struct {
+		name string
+		url  string
+		body []byte
+		want int
+	}{
+		{"missing-bound", "/v1/batch?mode=abs", f32Body(batchVals(4, 0)), http.StatusBadRequest},
+		{"bad-mode", "/v1/batch?mode=nope&bound=1e-3", f32Body(batchVals(4, 0)), http.StatusBadRequest},
+		{"ragged-body", "/v1/batch?mode=abs&bound=1e-3", []byte{1, 2, 3}, http.StatusBadRequest},
+		{"empty-ok", "/v1/batch?mode=abs&bound=1e-3", nil, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+tc.url, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+}
+
+// TestBatchDoublePrecision exercises the f64 window end to end.
+func TestBatchDoublePrecision(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchLinger: -1})
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = math.Cos(float64(i) * 0.02)
+	}
+	body := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
+	}
+	resp, out := post(t, ts.URL+"/v1/batch?mode=abs&bound=1e-6&precision=f64", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	got, err := pfpl.Decompress64(out, nil, pfpl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pfpl.VerifyBound64(vals, got, pfpl.ABS, 1e-6); v != 0 {
+		t.Fatalf("%d bound violations", v)
+	}
+}

@@ -88,6 +88,16 @@ type Config struct {
 	// X-Request-Id response header), method, path, status, response bytes,
 	// and duration.
 	Logger *slog.Logger
+	// BatchMaxFields flushes a pending /v1/batch coalescing window at this
+	// many requests (0 = DefaultBatchMaxFields).
+	BatchMaxFields int
+	// BatchMaxBytes flushes a pending /v1/batch window when the summed raw
+	// bodies reach this many bytes (0 = DefaultBatchMaxBytes).
+	BatchMaxBytes int64
+	// BatchLinger is how long the first /v1/batch request of a window waits
+	// for company before flushing (0 = DefaultBatchLinger; negative
+	// disables coalescing — every request flushes alone).
+	BatchLinger time.Duration
 }
 
 // Server is the HTTP service. Create with New, serve via ServeHTTP (it
@@ -101,6 +111,7 @@ type Server struct {
 	mux      *http.ServeMux
 	frames   *frameStore
 	objects  *objectStore
+	batch    *batcher
 	draining atomic.Bool
 	idBase   string // per-process random prefix for request ids
 	reqSeq   atomic.Uint64
@@ -127,11 +138,13 @@ func New(cfg Config) *Server {
 	}
 	s.frames = newFrameStore(s.adm, s)
 	s.objects = &objectStore{byName: make(map[string]*object)}
+	s.batch = newBatcher(s)
 	var seed [4]byte
 	rand.Read(seed[:])
 	s.idBase = hex.EncodeToString(seed[:])
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("PUT /v1/objects/{name}", s.handleObjectPut)
 	s.mux.HandleFunc("GET /v1/objects/{name}", s.handleObjectGet)
 	s.mux.HandleFunc("HEAD /v1/objects/{name}", s.handleObjectGet)
