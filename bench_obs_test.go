@@ -1,0 +1,73 @@
+package pfpl_test
+
+// Observability-overhead benchmarks: the serve compress path from
+// bench_serve_test.go repeated at three trace sampling rates so the
+// cost of the telemetry layer is a measured number, not a promise.
+//
+//	trace-sample 0    — telemetry wrapper skipped entirely (the PR 9
+//	                    baseline; must match BenchmarkServeCompress*)
+//	trace-sample 0.01 — production default: 1 in 100 requests records
+//	                    a full trace, every request pays the wide
+//	                    event + RED accounting
+//	trace-sample 1    — worst case: every request records all spans
+//
+// Reference numbers live in results/BENCH_obs.json; the CI benchcore
+// job refreshes them as an artifact on every push.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pfpl/internal/server"
+)
+
+func benchServeObs(b *testing.B, sample float64) {
+	s := server.New(server.Config{TraceSample: sample})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	raw := make([]byte, serveBenchValues*4)
+	for i, v := range benchData32(serveBenchValues) {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	url := ts.URL + "/v1/compress?mode=abs&bound=1e-3"
+	if err := serveOnce(url, raw); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := serveOnce(url, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	// The run must actually have exercised the configured telemetry mode:
+	// a sampled run that recorded nothing would make the "overhead"
+	// comparison meaningless.
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case sample == 0 && resp.StatusCode != http.StatusNotFound:
+		b.Fatalf("trace-sample 0 must keep /debug/traces disabled, got %s", resp.Status)
+	case sample > 0 && !bytes.Contains(body, []byte("total_recorded")):
+		b.Fatalf("sampled run recorded no traces: %s", body)
+	}
+}
+
+func BenchmarkServeObsSample0(b *testing.B)    { benchServeObs(b, 0) }
+func BenchmarkServeObsSample1pct(b *testing.B) { benchServeObs(b, 0.01) }
+func BenchmarkServeObsSample100(b *testing.B)  { benchServeObs(b, 1) }

@@ -8,6 +8,7 @@
 //	pfpl -d -in data.pfpl -out restored.f32
 //	pfpl -stat -in data.pfpl
 //	pfpl serve -addr :8080
+//	pfpl top :8080
 //
 // Input files for compression are raw little-endian float32 arrays (or
 // float64 with -double). The device flag selects the executor: serial, cpu,
@@ -23,8 +24,10 @@
 // frames and chunks.
 //
 // The serve subcommand runs the bounded-concurrency HTTP service (see
-// internal/server); -metrics prints the batch run's instrumentation —
-// the same registry shape the service exposes at /metrics — to stderr.
+// internal/server); top polls a running daemon's GET /v1/status into a
+// live per-route RED view. -metrics prints the batch run's
+// instrumentation — the same registry shape the service exposes at
+// /metrics — to stderr.
 package main
 
 import (
@@ -50,6 +53,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "pfpl serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := topMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pfpl top:", err)
 			os.Exit(1)
 		}
 		return

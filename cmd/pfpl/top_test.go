@@ -1,0 +1,87 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pfpl/internal/server"
+)
+
+func TestStatusURL(t *testing.T) {
+	cases := map[string]string{
+		":8080":                   "http://localhost:8080/v1/status",
+		"daemon:9090":             "http://daemon:9090/v1/status",
+		"http://daemon:9090":      "http://daemon:9090/v1/status",
+		"https://daemon.example/": "https://daemon.example/v1/status",
+	}
+	for in, want := range cases {
+		if got := statusURL(in); got != want {
+			t.Errorf("statusURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTopAgainstLiveServer polls a real server.Server's /v1/status and
+// checks the rendered screen carries the rollups an operator reads.
+func TestTopAgainstLiveServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, TraceSample: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Drive one request so a RED row exists.
+	body := strings.NewReader(string(make([]byte, 4096)))
+	resp, err := http.Post(ts.URL+"/v1/compress?mode=abs&bound=1e-3", "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %s", resp.Status)
+	}
+
+	st, err := fetchStatus(http.DefaultClient, statusURL(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen := renderStatus(st, ts.URL)
+	for _, want := range []string{"pfpl ok", "pool 2 workers", "ROUTE", "compress", "traces"} {
+		if !strings.Contains(screen, want) {
+			t.Fatalf("rendered screen missing %q:\n%s", want, screen)
+		}
+	}
+	if st.Routes["compress"].Requests != 1 {
+		t.Fatalf("compress requests = %d, want 1", st.Routes["compress"].Requests)
+	}
+
+	// One-shot mode exits cleanly against the live daemon.
+	if err := topMain([]string{"-count", "1", ts.URL}); err != nil {
+		t.Fatalf("topMain: %v", err)
+	}
+
+	// A down daemon is an error, not a hang or a zero screen.
+	ts.Close()
+	if err := topMain([]string{"-count", "1", ts.URL}); err == nil {
+		t.Fatal("topMain against a closed server must error")
+	}
+}
+
+func TestTopFormatHelpers(t *testing.T) {
+	if got := formatUptime(59); got != "59s" {
+		t.Errorf("formatUptime(59) = %q", got)
+	}
+	if got := formatUptime(3600*26 + 120); got != "1d2h" {
+		t.Errorf("formatUptime(26h) = %q", got)
+	}
+	if got := formatBytes(256 << 20); got != "256.0MiB" {
+		t.Errorf("formatBytes = %q", got)
+	}
+	if got := formatMs(0); got != "-" {
+		t.Errorf("formatMs(0) = %q", got)
+	}
+	if got := formatMs(0.5); got != "500µs" {
+		t.Errorf("formatMs(0.5) = %q", got)
+	}
+}

@@ -44,6 +44,24 @@ const (
 	StageEmit
 	// StageDecode is a whole-unit decompression.
 	StageDecode
+
+	// The remaining stages are HTTP-level: the serve daemon records one span
+	// per request phase on an "http" track, parenting the codec stage spans
+	// above in the same exportable trace (see internal/server).
+
+	// StageAdmissionWait is the time a request spent acquiring its byte
+	// reservation from the admission gate.
+	StageAdmissionWait
+	// StageSlotWait is the time queued for a pipeline slot.
+	StageSlotWait
+	// StageLinger is the time a /v1/batch member waited in the coalescing
+	// window before its flush started.
+	StageLinger
+	// StageRead is request-body consumption (interleaved with codec work on
+	// the streaming endpoints; recorded as one span covering the read loop).
+	StageRead
+	// StageRequest is the whole-request umbrella span.
+	StageRequest
 	numStages
 )
 
@@ -52,6 +70,7 @@ const NumStages = int(numStages)
 
 var stageNames = [NumStages]string{
 	"quantize", "delta", "shuffle", "encode", "carry-wait", "emit", "decode",
+	"admission-wait", "slot-wait", "batch-linger", "read", "request",
 }
 
 // String returns the stage's span name.
@@ -115,6 +134,12 @@ type Stats struct {
 	// BytesIn and BytesOut sum the unit sizes before and after coding.
 	BytesIn  int64
 	BytesOut int64
+	// Chunks and RawChunks aggregate chunk-level encode outcomes reported
+	// via ChunksDone — finer-grained than Units when the recorder's units
+	// are frames or fields (the streaming pipeline reports per-frame chunk
+	// tallies here without recording a span per chunk).
+	Chunks    int64
+	RawChunks int64
 	// StageNS and StageSpans hold per-stage total time and span counts.
 	StageNS    [NumStages]int64
 	StageSpans [NumStages]int64
@@ -296,6 +321,21 @@ func (r *Recorder) UnitDone(out Outcome, bytesIn, bytesOut int64) {
 	}
 	r.stats.BytesIn += bytesIn
 	r.stats.BytesOut += bytesOut
+	r.mu.Unlock()
+}
+
+// ChunksDone adds a chunk-outcome tally to the aggregates without recording
+// spans: chunks chunk encodes concluded, raw of which fell back to raw
+// storage. The streaming pipeline calls this once per frame after parsing
+// the frame's chunk table, so chunk-mode statistics survive even when the
+// recorder's span units are whole frames.
+func (r *Recorder) ChunksDone(chunks, raw int64) {
+	if r == nil || chunks == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.stats.Chunks += chunks
+	r.stats.RawChunks += raw
 	r.mu.Unlock()
 }
 

@@ -43,6 +43,12 @@ func TestStageNames(t *testing.T) {
 		StageCarryWait: "carry-wait",
 		StageEmit:      "emit",
 		StageDecode:    "decode",
+
+		StageAdmissionWait: "admission-wait",
+		StageSlotWait:      "slot-wait",
+		StageLinger:        "batch-linger",
+		StageRead:          "read",
+		StageRequest:       "request",
 	}
 	if len(want) != NumStages {
 		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)

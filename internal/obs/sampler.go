@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler decides, per request, whether to record a full trace. The rate
+// path is deterministic — a shared atomic counter samples every Nth
+// request, so a 1% rate yields exactly one trace per hundred requests
+// instead of a coin flip per request — and the decision itself is two
+// atomic ops with no allocation, so the disabled (rate 0) configuration
+// adds nothing to the serve hot path.
+//
+// Head sampling alone would miss exactly the requests worth looking at, so
+// callers additionally promote error and slow requests into the trace ring
+// after the fact via Slow / the response status; Sampler only owns the
+// slowness threshold, the promotion lives in the server.
+type Sampler struct {
+	// every is the sampling period: 0 disabled, 1 always, N → one in N.
+	every uint64
+	// slow is the latency threshold (ns) past which an unsampled request
+	// is promoted; 0 disables promotion-by-latency.
+	slow int64
+	n    atomic.Uint64
+}
+
+// NewSampler builds a sampler from a sampling rate in [0,1] and a slowness
+// threshold. rate <= 0 (or NaN) disables head sampling; rate >= 1 samples
+// every request; anything between samples every round(1/rate)th request.
+// slow <= 0 disables latency promotion.
+func NewSampler(rate float64, slow time.Duration) *Sampler {
+	s := &Sampler{}
+	switch {
+	case math.IsNaN(rate) || rate <= 0:
+		s.every = 0
+	case rate >= 1:
+		s.every = 1
+	default:
+		s.every = uint64(math.Round(1 / rate))
+	}
+	if slow > 0 {
+		s.slow = int64(slow)
+	}
+	return s
+}
+
+// Enabled reports whether any request can be head-sampled.
+func (s *Sampler) Enabled() bool { return s != nil && s.every != 0 }
+
+// Sample draws the head-sampling decision for one request. Nil-safe; a
+// disabled sampler always answers false. The first request after start is
+// always sampled (so a freshly deployed daemon yields a trace immediately),
+// then every period-th after that.
+//
+//pfpl:hotpath
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}
+
+// Slow reports whether a request of the given duration should be promoted
+// into the trace ring despite not being head-sampled.
+func (s *Sampler) Slow(d time.Duration) bool {
+	return s != nil && s.slow > 0 && int64(d) >= s.slow
+}

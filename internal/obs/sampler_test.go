@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerDisabled(t *testing.T) {
+	var nilS *Sampler
+	if nilS.Enabled() || nilS.Sample() || nilS.Slow(time.Hour) {
+		t.Fatal("nil sampler must be fully disabled")
+	}
+	for _, rate := range []float64{0, -1, -0.5} {
+		s := NewSampler(rate, 0)
+		if s.Enabled() {
+			t.Fatalf("rate %g: Enabled() = true", rate)
+		}
+		for i := 0; i < 100; i++ {
+			if s.Sample() {
+				t.Fatalf("rate %g sampled request %d", rate, i)
+			}
+		}
+	}
+}
+
+func TestSamplerAlways(t *testing.T) {
+	for _, rate := range []float64{1, 1.5, 100} {
+		s := NewSampler(rate, 0)
+		for i := 0; i < 100; i++ {
+			if !s.Sample() {
+				t.Fatalf("rate %g skipped request %d", rate, i)
+			}
+		}
+	}
+}
+
+func TestSamplerDeterministicPeriod(t *testing.T) {
+	s := NewSampler(0.01, 0) // every 100th
+	var hits []int
+	for i := 0; i < 1000; i++ {
+		if s.Sample() {
+			hits = append(hits, i)
+		}
+	}
+	if len(hits) != 10 {
+		t.Fatalf("1000 requests at 1%% sampled %d times, want 10", len(hits))
+	}
+	if hits[0] != 0 {
+		t.Fatalf("first request not sampled: first hit at %d", hits[0])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i]-hits[i-1] != 100 {
+			t.Fatalf("non-deterministic spacing: hits %v", hits)
+		}
+	}
+}
+
+func TestSamplerRateRounding(t *testing.T) {
+	// 1/3 rounds to every 3rd, 0.4 → 1/0.4 = 2.5 rounds to half-even 2.
+	s := NewSampler(1.0/3.0, 0)
+	n := 0
+	for i := 0; i < 300; i++ {
+		if s.Sample() {
+			n++
+		}
+	}
+	if n != 100 {
+		t.Fatalf("rate 1/3 over 300 requests sampled %d, want 100", n)
+	}
+}
+
+func TestSamplerSlow(t *testing.T) {
+	s := NewSampler(0, 50*time.Millisecond)
+	if s.Slow(49 * time.Millisecond) {
+		t.Fatal("below threshold reported slow")
+	}
+	if !s.Slow(50 * time.Millisecond) {
+		t.Fatal("at-threshold not reported slow")
+	}
+	if !s.Slow(time.Second) {
+		t.Fatal("above threshold not reported slow")
+	}
+	if NewSampler(0.5, 0).Slow(time.Hour) {
+		t.Fatal("slow=0 must disable latency promotion")
+	}
+}
+
+// TestSamplerZeroAllocs pins the hot-path guarantee: the sampling decision
+// allocates nothing at any rate, so a disabled sampler adds zero
+// allocations to the serve fast path. Runs under the CI zero-alloc step.
+func TestSamplerZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    *Sampler
+	}{
+		{"nil", nil},
+		{"disabled", NewSampler(0, 0)},
+		{"always", NewSampler(1, 0)},
+		{"percent", NewSampler(0.01, time.Second)},
+	} {
+		var sink bool
+		allocs := testing.AllocsPerRun(1000, func() {
+			sink = tc.s.Sample() || tc.s.Slow(time.Millisecond)
+		})
+		_ = sink
+		if allocs != 0 {
+			t.Errorf("%s: Sample/Slow allocated %.1f per run, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// W3C Trace Context (traceparent header) support. The serve daemon accepts
+// an inbound `traceparent` so callers can stitch the daemon's spans into
+// their own distributed trace, and echoes one back carrying the span id the
+// daemon assigned to the request. Parsing is deliberately forgiving in
+// exactly one way — any malformed header yields (zero, false) and the
+// caller starts a fresh trace — and strict everywhere else, per
+// https://www.w3.org/TR/trace-context/.
+
+// TraceContext is one parsed or generated traceparent: a 16-byte trace id
+// shared by every span of a distributed trace, the 8-byte id of the calling
+// span (or of the span being announced), and the trace flags, of which bit
+// 0 is "sampled".
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// FlagSampled is the W3C sampled trace flag (bit 0).
+const FlagSampled byte = 0x01
+
+// Valid reports whether the context carries non-zero trace and span ids —
+// the W3C validity rule; an all-zero id means "no trace".
+func (t TraceContext) Valid() bool {
+	return t.TraceID != [16]byte{} && t.SpanID != [8]byte{}
+}
+
+// Sampled reports the sampled trace flag.
+func (t TraceContext) Sampled() bool { return t.Flags&FlagSampled != 0 }
+
+// TraceIDString returns the 32-hex-digit trace id.
+func (t TraceContext) TraceIDString() string {
+	return hex.EncodeToString(t.TraceID[:])
+}
+
+// SpanIDString returns the 16-hex-digit span id.
+func (t TraceContext) SpanIDString() string {
+	return hex.EncodeToString(t.SpanID[:])
+}
+
+// Traceparent renders the version-00 header form:
+// "00-<trace-id>-<span-id>-<flags>".
+func (t TraceContext) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, t.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, t.SpanID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, []byte{t.Flags})
+	return string(buf)
+}
+
+// ParseTraceparent parses a traceparent header. It returns ok == false —
+// and a zero context — for anything malformed: wrong field sizes, uppercase
+// hex (the spec mandates lowercase), the invalid all-zero ids, version
+// "ff", or a version-00 header with trailing data. Headers from future
+// versions (01..fe) are accepted if their first four fields parse, ignoring
+// any suffix, as the spec requires.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	// version(2) - traceid(32) - spanid(16) - flags(2) = 55 bytes minimum.
+	if len(h) < 55 {
+		return TraceContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, ok := hexByte(h[0], h[1])
+	if !ok || version == 0xFF {
+		return TraceContext{}, false
+	}
+	if version == 0 && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if version != 0 && len(h) > 55 && h[55] != '-' {
+		return TraceContext{}, false
+	}
+	var t TraceContext
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(h[3+2*i], h[4+2*i])
+		if !ok {
+			return TraceContext{}, false
+		}
+		t.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(h[36+2*i], h[37+2*i])
+		if !ok {
+			return TraceContext{}, false
+		}
+		t.SpanID[i] = b
+	}
+	flags, ok := hexByte(h[53], h[54])
+	if !ok {
+		return TraceContext{}, false
+	}
+	t.Flags = flags
+	if !t.Valid() {
+		return TraceContext{}, false
+	}
+	return t, true
+}
+
+// hexByte decodes two lowercase hex digits; uppercase is rejected per spec.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// NewTraceContext generates a fresh trace: random non-zero trace and span
+// ids from crypto/rand, with the sampled flag set per the argument. Used
+// when a request arrives without (or with a malformed) traceparent.
+func NewTraceContext(sampled bool) TraceContext {
+	var t TraceContext
+	for t.TraceID == [16]byte{} {
+		rand.Read(t.TraceID[:])
+	}
+	for t.SpanID == [8]byte{} {
+		rand.Read(t.SpanID[:])
+	}
+	if sampled {
+		t.Flags = FlagSampled
+	}
+	return t
+}
+
+// ChildSpan returns a copy of t with a fresh random span id: the context
+// the daemon echoes back, naming its own request span inside the caller's
+// trace.
+func (t TraceContext) ChildSpan() TraceContext {
+	child := t
+	child.SpanID = [8]byte{}
+	for child.SpanID == [8]byte{} {
+		rand.Read(child.SpanID[:])
+	}
+	return child
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext(true)
+	if !tc.Valid() || !tc.Sampled() {
+		t.Fatalf("fresh sampled context invalid: %+v", tc)
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+
+	un := NewTraceContext(false)
+	if un.Sampled() {
+		t.Fatal("unsampled context has sampled flag")
+	}
+	got, ok = ParseTraceparent(un.Traceparent())
+	if !ok || got != un {
+		t.Fatalf("unsampled round trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestTraceparentParseValid(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("failed to parse spec example %q", h)
+	}
+	if tc.TraceIDString() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace id = %s", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "b7ad6b7169203331" {
+		t.Fatalf("span id = %s", tc.SpanIDString())
+	}
+	if !tc.Sampled() {
+		t.Fatal("sampled flag lost")
+	}
+	if tc.Traceparent() != h {
+		t.Fatalf("re-render = %q", tc.Traceparent())
+	}
+
+	// Future versions accept a suffix separated by '-'.
+	if _, ok := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Fatal("future-version header with suffix rejected")
+	}
+}
+
+func TestTraceparentParseMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",     // missing flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // v00 trailing junk
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",  // uppercase
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // version ff
+		"0g-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad version hex
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad separator
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",  // bad trace hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333z-01",  // bad span hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0q",  // bad flags hex
+		"cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // future version, junk suffix
+	}
+	for _, h := range bad {
+		if tc, ok := ParseTraceparent(h); ok || tc != (TraceContext{}) {
+			t.Errorf("ParseTraceparent(%q) = %+v, %v; want zero, false", h, tc, ok)
+		}
+	}
+}
+
+func TestChildSpanKeepsTrace(t *testing.T) {
+	parent := NewTraceContext(true)
+	child := parent.ChildSpan()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child changed trace id")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child reused parent span id")
+	}
+	if child.Flags != parent.Flags {
+		t.Fatal("child changed flags")
+	}
+}
+
+// FuzzParseTraceparent asserts the parser never panics and that anything it
+// accepts survives a render→parse round trip — the serve daemon feeds raw
+// header bytes straight in, so a malformed header must yield a fresh trace,
+// never a crash.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("")
+	f.Add("00-x-y-z")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			if tc != (TraceContext{}) {
+				t.Fatalf("rejected header returned non-zero context %+v", tc)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted invalid context from %q", h)
+		}
+		again, ok2 := ParseTraceparent(tc.Traceparent())
+		if !ok2 || again != tc {
+			t.Fatalf("render/parse round trip broke: %+v -> %q -> %+v (%v)", tc, tc.Traceparent(), again, ok2)
+		}
+	})
+}

@@ -67,6 +67,16 @@ func (a *Admission) Inflight() int64 {
 	return a.inflight
 }
 
+// DrainNsPerByte returns the EWMA drain-cost estimate feeding Retry-After,
+// in nanoseconds per byte (0 until the first timed release). Exposed on
+// the /v1/status snapshot so an operator can see the backpressure model's
+// current belief, not just its 429 verdicts.
+func (a *Admission) DrainNsPerByte() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drainNsPerByte
+}
+
 // Acquire reserves n bytes. It returns nil and charges the budget, or
 // ErrTooLarge (n can never fit) or ErrSaturated (it would fit once
 // in-flight requests drain). n <= 0 reserves nothing and always succeeds.

@@ -13,6 +13,7 @@ import (
 
 	"pfpl"
 	"pfpl/internal/core"
+	"pfpl/internal/obs"
 )
 
 // POST /v1/batch: the many-small-fields path. DAQ-style clients fire
@@ -61,12 +62,28 @@ type batchMember struct {
 	vals32 []float32
 	vals64 []float64
 	result chan batchResult // buffered; the flusher never blocks on delivery
+	// Telemetry attribution, set by the request goroutine before add and
+	// read by the flusher: the member's request id and whether its request
+	// is trace-sampled (one sampled member makes the whole flush record a
+	// codec trace, shared by every sampled member of the batch).
+	id      string
+	sampled bool
 }
 
 type batchResult struct {
 	data      []byte
 	coalesced int
 	err       error
+	// Flush telemetry, shared by all members of one flush. flushRec is
+	// non-nil only when at least one member was sampled; it holds the
+	// coalesced compression's codec spans plus one emit span per field, and
+	// is read-only once delivered. fieldIndex is this member's field in the
+	// batch container; memberIDs maps every field index to the request id
+	// that contributed it.
+	flushRec   *obs.Recorder
+	flushStart time.Time
+	fieldIndex int
+	memberIDs  []string
 }
 
 // pendingBatch accumulates members until a flush trigger: member count,
@@ -87,6 +104,18 @@ type batcher struct {
 
 func newBatcher(s *Server) *batcher {
 	return &batcher{s: s, m: make(map[batchKey]*pendingBatch)}
+}
+
+// pending reports the fields currently waiting in unflushed batches, for
+// the /v1/status snapshot.
+func (bc *batcher) pending() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	n := 0
+	for _, pb := range bc.m {
+		n += len(pb.members)
+	}
+	return n
 }
 
 func (bc *batcher) maxFields() int {
@@ -178,12 +207,37 @@ func (bc *batcher) flush(key batchKey, pb *pendingBatch) {
 	bc.s.slots <- struct{}{}
 	defer func() { <-bc.s.slots }()
 
-	deliver := func(res batchResult) {
-		for _, m := range members {
-			m.result <- res
+	flushStart := time.Now()
+	// One codec trace for the whole coalesced flush when any member is
+	// sampled: the shared recorder collects the batch compression's stage
+	// spans once, plus a per-field emit span, and every sampled member
+	// merges them into its own request trace — with each field attributed
+	// back to the request id that contributed it via memberIDs.
+	var wrec *obs.Recorder
+	var memberIDs []string
+	for _, m := range members {
+		if m.sampled {
+			wrec = obs.New(traceSpanCap)
+			break
 		}
 	}
-	opts := pfpl.Options{Mode: key.mode, Bound: key.bound, Device: bc.s.dev}
+	if wrec != nil {
+		memberIDs = make([]string, len(members))
+		for i, m := range members {
+			memberIDs[i] = m.id
+		}
+	}
+
+	deliver := func(res batchResult) {
+		res.flushRec, res.flushStart, res.memberIDs = wrec, flushStart, memberIDs
+		for i, m := range members {
+			r := res
+			r.fieldIndex = i
+			m.result <- r
+		}
+	}
+	opts := pfpl.Options{Mode: key.mode, Bound: key.bound, Device: bc.s.dev, Trace: wrec}
+	tEnc := wrec.Now()
 	var buf []byte
 	var err error
 	if key.double {
@@ -203,16 +257,21 @@ func (bc *batcher) flush(key batchKey, pb *pendingBatch) {
 		deliver(batchResult{err: err})
 		return
 	}
+	// The whole-batch encode span sits above the per-chunk spans the codec
+	// recorded on its device tracks: one dispatch, however many fields.
+	wrec.StageSpan(obs.StageEncode, wrec.Track("batch"), 0, tEnc)
 	b, err := pfpl.OpenBatch(buf)
 	if err != nil {
 		deliver(batchResult{err: err})
 		return
 	}
 	bc.s.reg.Histogram("batch.coalesced_fields").Observe(float64(len(members)))
+	emitTrack := wrec.Track("batch")
 	for i, m := range members {
+		tField := wrec.Now()
 		fc, err := b.Field(i)
 		if err != nil {
-			m.result <- batchResult{err: err}
+			m.result <- batchResult{err: err, flushRec: wrec, flushStart: flushStart, fieldIndex: i, memberIDs: memberIDs}
 			continue
 		}
 		if key.checksum {
@@ -220,12 +279,55 @@ func (bc *batcher) flush(key batchKey, pb *pendingBatch) {
 			// byte-identical to an uncoalesced Compress with Checksum set.
 			fc, err = core.AppendChecksum(fc)
 			if err != nil {
-				m.result <- batchResult{err: err}
+				m.result <- batchResult{err: err, flushRec: wrec, flushStart: flushStart, fieldIndex: i, memberIDs: memberIDs}
 				continue
 			}
 		}
-		m.result <- batchResult{data: fc, coalesced: len(members)}
+		if wrec != nil {
+			rawBytes := int64(len(m.vals32))*4 + int64(len(m.vals64))*8
+			wrec.Record(obs.Span{
+				Start: tField, Dur: wrec.Now() - tField,
+				//pfpl:ignore intwidth i indexes members, capped far below 2^31 by the batch window (BatchMaxFields)
+				Track: emitTrack, Unit: int32(i), Stage: obs.StageEmit,
+				BytesIn: rawBytes, BytesOut: int64(len(fc)),
+			})
+			if chunks, raw, _, cerr := pfpl.ChunkOutcomes(fc); cerr == nil {
+				wrec.ChunksDone(int64(chunks), int64(raw))
+			}
+			bc.auditField(key, m, fc)
+		}
+		m.result <- batchResult{
+			data: fc, coalesced: len(members),
+			flushRec: wrec, flushStart: flushStart, fieldIndex: i, memberIDs: memberIDs,
+		}
 	}
+}
+
+// auditField round-trips one sampled field and verifies the error bound
+// held, feeding the audit counters. Sampled flushes only: a decompression
+// per field is exactly the cost head sampling exists to bound.
+func (bc *batcher) auditField(key batchKey, m *batchMember, fc []byte) {
+	violations := 0
+	if key.double {
+		recon, err := pfpl.Decompress64(fc, nil, pfpl.Options{Device: bc.s.dev})
+		if err != nil {
+			violations = len(m.vals64)
+		} else {
+			violations = pfpl.VerifyBound64(m.vals64, recon, key.mode, key.bound)
+		}
+	} else {
+		recon, err := pfpl.Decompress32(fc, nil, pfpl.Options{Device: bc.s.dev})
+		if err != nil {
+			violations = len(m.vals32)
+		} else {
+			violations = pfpl.VerifyBound(m.vals32, recon, key.mode, key.bound)
+		}
+	}
+	if violations > 0 {
+		bc.s.reg.Counter("audit.bound.fail").Add(1)
+		return
+	}
+	bc.s.reg.Counter("audit.bound.pass").Add(1)
 }
 
 // errBatchTooLarge marks a /v1/batch body over the per-field cap.
@@ -260,10 +362,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ev := eventFrom(r.Context())
+	ev.setParams(p.modeName, precisionName(p.double))
+	// Coalesced responses echo the id of the request that asked (the
+	// telemetry wrapper sets the header from ev); without the wrapper a
+	// well-formed caller-supplied id is still echoed here, so batch members
+	// can always correlate response to request.
+	memberID := ""
+	if ev != nil {
+		memberID = ev.id
+	} else if rid := r.Header.Get("X-Request-Id"); rid != "" && len(rid) <= maxRequestIDLen && isPrintableASCII(rid) {
+		memberID = rid
+		w.Header().Set("X-Request-Id", rid)
+	}
+
 	// Per-request admission: the raw field plus worst-case output. Released
 	// when this response is done — a cancellation returns exactly this
 	// field's bytes, never the batch's.
 	reserve := 2 * int64(len(body))
+	tAdm := time.Now()
 	if err := s.adm.Acquire(reserve); err != nil {
 		switch {
 		case errors.Is(err, ErrTooLarge):
@@ -276,13 +393,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	ev.phase(obs.StageAdmissionWait, tAdm)
 	t0 := time.Now()
 	defer func() { s.adm.Release(reserve, time.Since(t0)) }()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
 	key := batchKey{mode: p.mode, modeName: p.modeName, bound: p.bound, double: p.double, checksum: p.checksum}
-	m := &batchMember{result: make(chan batchResult, 1)}
+	m := &batchMember{result: make(chan batchResult, 1), id: memberID, sampled: ev.isSampled()}
 	if p.double {
 		m.vals64 = make([]float64, len(body)/8)
 		for i := range m.vals64 {
@@ -294,6 +412,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			m.vals32[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
 		}
 	}
+	tAdd := time.Now()
 	s.batch.add(key, m, int64(len(body)))
 
 	var res batchResult
@@ -311,10 +430,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// the buffered channel makes it non-blocking either way.
 		res = <-m.result
 	}
+	if ev != nil && !res.flushStart.IsZero() {
+		// The linger window is this member's wait from enqueue to the
+		// flusher picking the batch up — the latency cost of coalescing.
+		ev.phaseUntil(obs.StageLinger, tAdd, res.flushStart)
+		ev.coalesced = res.coalesced
+		ev.flushRec = res.flushRec
+		ev.flushStart = res.flushStart
+		ev.fieldIndex = res.fieldIndex
+		ev.memberIDs = res.memberIDs
+	}
 	if res.err != nil {
 		s.finishError(w, "batch", p.modeName, false, res.err)
 		return
 	}
+	ev.setBytes(int64(len(body)), int64(len(res.data)))
 	digest := core.FrameDigest(res.data)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(res.data)))
@@ -329,6 +459,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("bytes.out").Add(int64(len(res.data)))
 	s.reg.Histogram("latency_ns.batch").Observe(float64(time.Since(t0).Nanoseconds()))
 	if len(res.data) > 0 {
-		s.reg.Histogram("ratio.batch").Observe(float64(len(body)) / float64(len(res.data)))
+		s.observeRatio("ratio.batch", float64(len(body))/float64(len(res.data)), ev)
 	}
 }

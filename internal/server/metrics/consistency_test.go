@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramViewConsistency pins that the two renderings of one
+// histogram — the expvar JSON summary and the Prometheus text exposition —
+// tell the same story for every observation class, including the
+// never-observed case: count and sum always present and equal across
+// views, and the JSON derived statistics null exactly when no observation
+// backs them (never a fabricated 0 min/max on an empty histogram).
+func TestHistogramViewConsistency(t *testing.T) {
+	cases := []struct {
+		name      string
+		values    []float64
+		wantCount int64
+		wantSum   float64
+		minMax    bool // min/max/mean present (non-null) in JSON
+		pcts      bool // p50/p90/p99 present (non-null) in JSON
+	}{
+		{name: "never observed", wantCount: 0, wantSum: 0},
+		{name: "single value", values: []float64{1500}, wantCount: 1, wantSum: 1500, minMax: true, pcts: true},
+		{name: "zero value", values: []float64{0}, wantCount: 1, wantSum: 0, minMax: true, pcts: true},
+		{name: "NaN only", values: []float64{math.NaN(), math.NaN()}, wantCount: 2, wantSum: 0},
+		{name: "positive Inf only", values: []float64{math.Inf(1)}, wantCount: 1, wantSum: 0, pcts: true},
+		{name: "NaN then finite", values: []float64{math.NaN(), 8}, wantCount: 2, wantSum: 8, minMax: true, pcts: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			h := r.Histogram("latency_ns.test")
+			for _, v := range tc.values {
+				h.Observe(v)
+			}
+
+			// JSON view.
+			var js struct {
+				Count int64    `json:"count"`
+				Sum   *float64 `json:"sum"`
+				Min   *float64 `json:"min"`
+				Max   *float64 `json:"max"`
+				Mean  *float64 `json:"mean"`
+				P50   *float64 `json:"p50"`
+				P90   *float64 `json:"p90"`
+				P99   *float64 `json:"p99"`
+			}
+			if err := json.Unmarshal([]byte(h.String()), &js); err != nil {
+				t.Fatalf("histogram JSON invalid: %v\n%s", err, h.String())
+			}
+			if js.Count != tc.wantCount {
+				t.Fatalf("json count = %d, want %d", js.Count, tc.wantCount)
+			}
+			if js.Sum == nil || *js.Sum != tc.wantSum {
+				t.Fatalf("json sum = %v, want %g (always present)", js.Sum, tc.wantSum)
+			}
+			for field, p := range map[string]*float64{"min": js.Min, "max": js.Max, "mean": js.Mean} {
+				if got := p != nil; got != tc.minMax {
+					t.Fatalf("json %s present = %v, want %v (%s)", field, got, tc.minMax, h.String())
+				}
+			}
+			for field, p := range map[string]*float64{"p50": js.P50, "p90": js.P90, "p99": js.P99} {
+				if got := p != nil; got != tc.pcts {
+					t.Fatalf("json %s present = %v, want %v (%s)", field, got, tc.pcts, h.String())
+				}
+			}
+
+			// Prometheus view: _count/_sum must exist and agree with JSON,
+			// observed or not.
+			var b strings.Builder
+			if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+				t.Fatal(err)
+			}
+			prom := b.String()
+			wantCountLine := "pfpl_latency_ns_test_count " + strconv.FormatInt(tc.wantCount, 10) + "\n"
+			if !strings.Contains(prom, wantCountLine) {
+				t.Fatalf("prometheus missing %q:\n%s", wantCountLine, prom)
+			}
+			wantSumLine := "pfpl_latency_ns_test_sum " + strconv.FormatFloat(tc.wantSum, 'g', -1, 64) + "\n"
+			if !strings.Contains(prom, wantSumLine) {
+				t.Fatalf("prometheus missing %q:\n%s", wantSumLine, prom)
+			}
+			wantInf := `pfpl_latency_ns_test_bucket{le="+Inf"} ` + strconv.FormatInt(tc.wantCount, 10) + "\n"
+			if !strings.Contains(prom, wantInf) {
+				t.Fatalf("prometheus missing %q:\n%s", wantInf, prom)
+			}
+		})
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("ratio.compress")
+	h.Observe(2.5) // plain observation: no exemplar yet
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# EXEMPLAR") {
+		t.Fatalf("exemplar comment without ObserveExemplar:\n%s", b.String())
+	}
+
+	h.ObserveExemplar(4, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveExemplar(8, "") // empty tag observes but keeps the last exemplar
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.ExemplarTag != "0af7651916cd43dd8448eb211c80319c" || s.ExemplarValue != 4 {
+		t.Fatalf("exemplar = %q/%g", s.ExemplarTag, s.ExemplarValue)
+	}
+
+	b.Reset()
+	if err := r.WritePrometheus(&b, "pfpl"); err != nil {
+		t.Fatal(err)
+	}
+	want := "# EXEMPLAR pfpl_ratio_compress trace_id=0af7651916cd43dd8448eb211c80319c value=4\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing exemplar comment %q:\n%s", want, b.String())
+	}
+	// Comment lines must not break exposition parsing: every non-comment
+	// line still starts with the metric name.
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "pfpl_") {
+			t.Fatalf("unexpected exposition line %q", line)
+		}
+	}
+}

@@ -139,6 +139,13 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets [histBuckets]int64
+	// Last exemplar attached via ObserveExemplar: a trace id (or any short
+	// opaque tag) naming one sampled request behind the distribution, and
+	// the value it observed. Surfaced as a comment in the Prometheus
+	// exposition so an operator can jump from a suspicious histogram to a
+	// concrete trace in /debug/traces.
+	exTag   string
+	exValue float64
 }
 
 // bucketOf maps v to its power-of-two bucket index. Bucket 0 is the clamp
@@ -183,22 +190,48 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[bucketOf(v)]++
 }
 
+// ObserveExemplar records one value and tags it as the histogram's current
+// exemplar — typically the trace id of a sampled request, so the rendered
+// distribution links back to one concrete trace. The exemplar is
+// last-writer-wins; an empty tag observes without replacing it.
+func (h *Histogram) ObserveExemplar(v float64, tag string) {
+	h.Observe(v)
+	if tag == "" {
+		return
+	}
+	h.mu.Lock()
+	h.exTag = tag
+	h.exValue = v
+	h.mu.Unlock()
+}
+
 // Snapshot is a consistent copy of a histogram's state. Min, Max, and Sum
-// cover the finite observations only; NaNs counts NaN observations (which
-// are included in Count but in no bucket).
+// cover the finite observations only (Finite counts them); NaNs counts NaN
+// observations (which are included in Count but in no bucket). Min and Max
+// are meaningless when Finite is zero — renderers must report them as
+// absent, not as 0.
 type Snapshot struct {
 	Count    int64
+	Finite   int64
 	NaNs     int64
 	Sum      float64
 	Min, Max float64
 	Buckets  [histBuckets]int64
+	// ExemplarTag/ExemplarValue are the last exemplar recorded via
+	// ObserveExemplar; an empty tag means none yet.
+	ExemplarTag   string
+	ExemplarValue float64
 }
 
 // Snapshot returns a consistent copy.
 func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return Snapshot{Count: h.count, NaNs: h.nans, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+	return Snapshot{
+		Count: h.count, Finite: h.finite, NaNs: h.nans, Sum: h.sum,
+		Min: h.min, Max: h.max, Buckets: h.buckets,
+		ExemplarTag: h.exTag, ExemplarValue: h.exValue,
+	}
 }
 
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the
@@ -233,13 +266,26 @@ func (s Snapshot) Mean() float64 {
 }
 
 // String renders the histogram summary as JSON, implementing expvar.Var.
+// The shape mirrors the Prometheus exposition: count and sum are always
+// present (0 for a never-observed histogram, exactly as _count/_sum render
+// there), while the derived statistics — min, max, mean over finite
+// observations, percentiles over bucketed ones — become null when no
+// observation backs them, never a fabricated 0.
 func (h *Histogram) String() string {
 	s := h.Snapshot()
+	min, max, mean := "null", "null", "null"
+	if s.Finite > 0 {
+		min, max, mean = jsonFloat(s.Min), jsonFloat(s.Max), jsonFloat(s.Mean())
+	}
+	p50, p90, p99 := "null", "null", "null"
+	if s.Count-s.NaNs > 0 { // at least one bucketed observation
+		p50 = jsonFloat(s.Quantile(0.5))
+		p90 = jsonFloat(s.Quantile(0.9))
+		p99 = jsonFloat(s.Quantile(0.99))
+	}
 	return fmt.Sprintf(
 		`{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s,"p50":%s,"p90":%s,"p99":%s}`,
-		s.Count, jsonFloat(s.Sum), jsonFloat(s.Min), jsonFloat(s.Max),
-		jsonFloat(s.Mean()), jsonFloat(s.Quantile(0.5)), jsonFloat(s.Quantile(0.9)),
-		jsonFloat(s.Quantile(0.99)))
+		s.Count, jsonFloat(s.Sum), min, max, mean, p50, p90, p99)
 }
 
 // jsonFloat formats a float as JSON; NaN and ±Inf (not representable in

@@ -49,6 +49,13 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 			b.WriteString(base + `_bucket{le="+Inf"} ` + strconv.FormatInt(s.Count, 10) + "\n")
 			b.WriteString(base + "_sum " + strconv.FormatFloat(s.Sum, 'g', -1, 64) + "\n")
 			b.WriteString(base + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
+			// The 0.0.4 text format has no native exemplar syntax (that is
+			// OpenMetrics), so the sampled trace id rides along as a comment
+			// — ignored by every parser, one grep away for an operator.
+			if s.ExemplarTag != "" {
+				b.WriteString("# EXEMPLAR " + base + " trace_id=" + promHelp(s.ExemplarTag) +
+					" value=" + strconv.FormatFloat(s.ExemplarValue, 'g', -1, 64) + "\n")
+			}
 		}
 	})
 	_, err := io.WriteString(w, b.String())

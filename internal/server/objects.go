@@ -57,6 +57,18 @@ func newFrameStore(adm *Admission, s *Server) *frameStore {
 	}
 }
 
+// stats reports the cache's current occupancy for /v1/status: total cached
+// frames, how many of those are idle (unreferenced, evictable), and the
+// admission-charged bytes they hold.
+func (fs *frameStore) stats() (frames, idleFrames int, bytes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, e := range fs.entries {
+		bytes += int64(len(e.data))
+	}
+	return len(fs.entries), fs.idle.Len(), bytes
+}
+
 // put interns data under digest and takes one reference. A present entry is
 // a cache hit and costs nothing; a new frame is charged to the admission
 // budget, evicting idle frames (oldest first) to make room. data is not

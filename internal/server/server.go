@@ -21,6 +21,16 @@
 // deadlines propagate into the frame pipeline via StreamOptions.Context,
 // and every error-bound guarantee of the library holds on the served path
 // byte for byte (pinned by internal/conformance's served-path sweep).
+//
+// Observability follows the life of a request (see telemetry.go): a
+// deterministic head sampler (Config.TraceSample) or an inbound W3C
+// traceparent selects requests that record a full trace — HTTP-layer
+// waits plus the codec spans of the executor that served them — into a
+// bounded ring behind GET /debug/traces; every request, sampled or not,
+// feeds per-route RED rollups surfaced by GET /v1/status (the snapshot
+// `pfpl top` renders) and emits one wide slog event when logging is on.
+// When no telemetry consumer is configured the wrapper is skipped
+// entirely, preserving the zero-allocation serve path.
 package server
 
 import (
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"pfpl"
+	"pfpl/internal/obs"
 	"pfpl/internal/server/metrics"
 )
 
@@ -98,6 +109,22 @@ type Config struct {
 	// for company before flushing (0 = DefaultBatchLinger; negative
 	// disables coalescing — every request flushes alone).
 	BatchLinger time.Duration
+	// TraceSample is the head-sampling rate in [0, 1] for per-request
+	// tracing: that fraction of requests records a full trace — HTTP phases
+	// (admission wait, slot wait, batch linger, body read) linked to the
+	// codec's own stage spans — retained in a bounded ring behind
+	// GET /debug/traces. 0 disables sampling entirely; the serve hot path
+	// then pays nothing for the tracing layer.
+	TraceSample float64
+	// TraceSlow, when positive, promotes any request slower than this into
+	// the trace ring even when head sampling passed it by (with synthetic
+	// phase spans rebuilt from the always-measured phase durations). Error
+	// (5xx) requests are promoted unconditionally whenever the telemetry
+	// layer is active.
+	TraceSlow time.Duration
+	// TraceRing bounds the in-memory ring of retained traces
+	// (0 = DefaultTraceRing; only consulted when tracing is active).
+	TraceRing int
 }
 
 // Server is the HTTP service. Create with New, serve via ServeHTTP (it
@@ -115,6 +142,10 @@ type Server struct {
 	draining atomic.Bool
 	idBase   string // per-process random prefix for request ids
 	reqSeq   atomic.Uint64
+	sampler  *obs.Sampler
+	traces   *traceRing // nil when tracing is inactive
+	red      [numRoutes]redSet
+	started  time.Time
 }
 
 // New builds a Server from cfg.
@@ -139,6 +170,23 @@ func New(cfg Config) *Server {
 	s.frames = newFrameStore(s.adm, s)
 	s.objects = &objectStore{byName: make(map[string]*object)}
 	s.batch = newBatcher(s)
+	s.started = time.Now()
+	s.sampler = obs.NewSampler(cfg.TraceSample, cfg.TraceSlow)
+	if s.sampler.Enabled() || cfg.TraceSlow > 0 {
+		ring := cfg.TraceRing
+		if ring <= 0 {
+			ring = DefaultTraceRing
+		}
+		s.traces = newTraceRing(ring)
+	}
+	for i := 0; i < numRoutes; i++ {
+		s.red[i] = redSet{
+			requests:     s.reg.Counter("route." + routeNames[i] + ".requests"),
+			errors:       s.reg.Counter("route." + routeNames[i] + ".errors"),
+			clientErrors: s.reg.Counter("route." + routeNames[i] + ".client_errors"),
+			latency:      s.reg.Histogram("route." + routeNames[i] + ".latency_ns"),
+		}
+	}
 	var seed [4]byte
 	rand.Read(seed[:])
 	s.idBase = hex.EncodeToString(seed[:])
@@ -151,6 +199,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/objects/{name}", s.handleObjectDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -161,29 +211,29 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. With a configured Logger every request
-// is logged on completion, tagged with a process-unique request id.
+// ServeHTTP implements http.Handler. When the telemetry layer is active
+// (a configured Logger, a positive trace-sampling rate, or a slow-request
+// threshold) every request runs inside a reqEvent: it gets a request id
+// (the caller's X-Request-Id echoed when well-formed, generated otherwise),
+// a W3C trace context (continuing an inbound traceparent when present), one
+// wide-event log line on completion, per-route RED accounting, and — for
+// the sampled fraction plus promoted error/slow requests — a full trace in
+// the /debug/traces ring. When the layer is inactive the mux dispatches
+// directly; that path is identical to a telemetry-free build.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Logger == nil {
+	if !s.telemetryActive() {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	id := s.idBase + "-" + strconv.FormatUint(s.reqSeq.Add(1), 16)
-	w.Header().Set("X-Request-Id", id)
+	ev := s.beginEvent(r)
+	h := w.Header()
+	h.Set("X-Request-Id", ev.id)
+	h.Set("traceparent", ev.tc.Traceparent())
 	sw := &statusWriter{ResponseWriter: w}
-	t0 := time.Now()
 	// Deferred, not post-call: a handler that aborts a broken stream
 	// (http.ErrAbortHandler) still gets its request logged on the way out.
-	defer func() {
-		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
-			slog.String("id", id),
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.Int("status", sw.status()),
-			slog.Int64("bytes", sw.bytes),
-			slog.Duration("duration", time.Since(t0)))
-	}()
-	s.mux.ServeHTTP(sw, r)
+	defer s.finishEvent(ev, sw, r)
+	s.mux.ServeHTTP(sw, r.WithContext(withEvent(r.Context(), ev)))
 }
 
 // statusWriter observes the status code and body size flowing through a
@@ -334,6 +384,8 @@ func (p reqParams) reserveBytes(contentLength int64) int64 {
 // admit runs the admission and slot gates, returning a release func, or
 // writes the rejection response and returns false.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, op, mode string, reserve int64) (func(), bool) {
+	ev := eventFrom(r.Context())
+	tAdm := time.Now()
 	if err := s.adm.Acquire(reserve); err != nil {
 		switch {
 		case errors.Is(err, ErrTooLarge):
@@ -349,6 +401,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, op, mode string, 
 		}
 		return nil, false
 	}
+	ev.phase(obs.StageAdmissionWait, tAdm)
 	t0 := time.Now()
 	select {
 	case s.slots <- struct{}{}:
@@ -359,6 +412,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, op, mode string, 
 		s.count(op, mode, "canceled")
 		return nil, false
 	}
+	ev.phase(obs.StageSlotWait, t0)
 	s.reg.Histogram("latency_ns.slot_wait").Observe(float64(time.Since(t0).Nanoseconds()))
 	released := false
 	return func() {
@@ -432,6 +486,8 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
+	ev := eventFrom(r.Context())
+	ev.setParams(p.modeName, precisionName(p.double))
 	t0 := time.Now()
 	// Both directions stream: we keep reading the request body after the
 	// first response bytes go out, which HTTP/1.x forbids by default (the
@@ -441,7 +497,10 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	_ = http.NewResponseController(w).EnableFullDuplex()
 	cw := &countingWriter{w: w}
 	opts := pfpl.Options{Mode: p.mode, Bound: p.bound, Device: s.dev, Checksum: p.checksum}
-	sopts := pfpl.StreamOptions{FrameValues: p.frame, Concurrency: 1, Context: ctx}
+	// A sampled request threads its recorder into the stream writer: codec
+	// stage spans (quantize/encode/emit per frame) land in the same trace as
+	// the HTTP phases, and the writer tallies per-chunk encode outcomes.
+	sopts := pfpl.StreamOptions{FrameValues: p.frame, Concurrency: 1, Context: ctx, Trace: ev.tracer()}
 	w.Header().Set("Content-Type", "application/octet-stream")
 
 	var bytesIn int64
@@ -451,6 +510,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	} else {
 		bytesIn, werr = compressBody32(ctx, r.Body, cw, opts, sopts)
 	}
+	// The read phase is the whole body-processing loop: request reads and
+	// codec work interleave on the streamed path, so this is wall time of
+	// read+compress combined, not pure socket-read time.
+	ev.phase(obs.StageRead, t0)
+	ev.setBytes(bytesIn, cw.n)
 	s.reg.Counter("bytes.in").Add(bytesIn)
 	s.reg.Counter("bytes.out").Add(cw.n)
 	if werr != nil {
@@ -460,8 +524,16 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	s.count("compress", p.modeName, "ok")
 	s.reg.Histogram("latency_ns.compress").Observe(float64(time.Since(t0).Nanoseconds()))
 	if cw.n > 0 {
-		s.reg.Histogram("ratio.compress").Observe(float64(bytesIn) / float64(cw.n))
+		s.observeRatio("ratio.compress", float64(bytesIn)/float64(cw.n), ev)
 	}
+}
+
+// precisionName renders an element precision for telemetry labels.
+func precisionName(double bool) string {
+	if double {
+		return "f64"
+	}
+	return "f32"
 }
 
 // finishError classifies a streaming failure. Before the first response
@@ -605,10 +677,14 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Pfpl-Precision", map[bool]string{false: "f32", true: "f64"}[info.Double])
+	w.Header().Set("X-Pfpl-Precision", precisionName(info.Double))
 
+	ev := eventFrom(r.Context())
+	ev.setParams("any", precisionName(info.Double))
 	cw := &countingWriter{w: w}
-	opts := pfpl.Options{Device: s.dev}
+	// Options.Trace reaches the decode path too: a sampled decompression
+	// records per-chunk decode spans into the request's trace.
+	opts := pfpl.Options{Device: s.dev, Trace: ev.tracer()}
 	var bytesOut int64
 	var derr error
 	if info.Double {
@@ -616,6 +692,8 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	} else {
 		bytesOut, derr = decompressBody32(br, cw, opts, p.frame)
 	}
+	ev.phase(obs.StageRead, t0)
+	ev.setBytes(max(r.ContentLength, 0), bytesOut)
 	s.reg.Counter("bytes.in").Add(int64(r.ContentLength))
 	s.reg.Counter("bytes.out").Add(bytesOut)
 	if derr != nil {

@@ -110,8 +110,10 @@ type StreamOptions struct {
 	// in-order emission turn), and emit. It supersedes Options.Trace for
 	// the per-frame compression calls — frames are the streaming unit, and
 	// recording both frame and chunk spans would double the byte
-	// accounting. Nil keeps aggregate statistics only, readable via the
-	// writer's Stats method.
+	// accounting. A traced writer additionally tallies per-chunk encode
+	// outcomes (compressed vs raw fallback) into Stats.Chunks/RawChunks.
+	// Nil keeps aggregate statistics only, readable via the writer's Stats
+	// method.
 	Trace *Tracer
 }
 
@@ -169,7 +171,7 @@ func NewWriter32(w io.Writer, opts Options, sopts StreamOptions) (*Writer32, err
 	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float32) ([]byte, error) { return Compress32(vals, copts) }
 	sw := &Writer32{}
-	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 4, sopts.frameValues(), workers, sopts.Index)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 4, sopts.frameValues(), workers, sopts.Index, sopts.Trace != nil)
 	return sw, nil
 }
 
@@ -213,7 +215,7 @@ func NewWriter64(w io.Writer, opts Options, sopts StreamOptions) (*Writer64, err
 	copts.Trace = nil // frame spans come from the pipeline, not per-chunk
 	enc := func(vals []float64) ([]byte, error) { return Compress64(vals, copts) }
 	sw := &Writer64{}
-	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 8, sopts.frameValues(), workers, sopts.Index)
+	sw.s.init(w, enc, sopts.Context, streamTracer(sopts.Trace), 8, sopts.frameValues(), workers, sopts.Index, sopts.Trace != nil)
 	return sw, nil
 }
 

@@ -56,6 +56,11 @@ type framePipe[T any] struct {
 	pool   sync.Pool
 	limit  int
 	frames int32 // next frame index; touched only by submit's caller
+	// tally enables per-frame chunk-outcome accounting (compressed vs raw
+	// fallback) into the recorder's aggregates. Only set when the caller
+	// supplied a Trace: the tally re-parses each frame's chunk table, which
+	// the untraced fast path must not pay for.
+	tally bool
 
 	// Footer-index state. Emission turns are serialized by the chain, so
 	// recs and off are only ever touched while a worker holds its turn
@@ -69,7 +74,7 @@ type framePipe[T any] struct {
 	err error
 }
 
-func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index bool) *framePipe[T] {
+func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index, tally bool) *framePipe[T] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -81,6 +86,7 @@ func newFramePipe[T any](dst io.Writer, enc func([]T) ([]byte, error), ctx conte
 		elem:  elem,
 		chain: cpucomp.NewChain(),
 		index: index,
+		tally: tally,
 		// The job queue bounds frames in flight: at most `workers` queued
 		// plus `workers` being compressed, so memory stays proportional to
 		// the concurrency, not the stream length.
@@ -115,6 +121,11 @@ func (p *framePipe[T]) worker(id int) {
 		if err == nil && comp != nil {
 			t = p.rec.StageSpanOutcome(obs.StageEncode, track, j.idx, t,
 				obs.OutcomeCompressed, int64(len(j.vals))*p.elem, int64(len(comp))+framePrefix)
+			if p.tally {
+				if chunks, raw, _, terr := ChunkOutcomes(comp); terr == nil {
+					p.rec.ChunksDone(int64(chunks), int64(raw))
+				}
+			}
 		}
 		// The index record is assembled before the emission turn so the
 		// SHA-256 runs in parallel across workers; only the append happens
@@ -231,9 +242,9 @@ type streamWriter[T any] struct {
 	closed bool
 }
 
-func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index bool) {
+func (w *streamWriter[T]) init(dst io.Writer, enc func([]T) ([]byte, error), ctx context.Context, rec *obs.Recorder, elem int64, limit, workers int, index, tally bool) {
 	w.limit = limit
-	w.pipe = newFramePipe(dst, enc, ctx, rec, elem, limit, workers, index)
+	w.pipe = newFramePipe(dst, enc, ctx, rec, elem, limit, workers, index, tally)
 }
 
 func (w *streamWriter[T]) write(vals []T) error {

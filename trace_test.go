@@ -161,6 +161,31 @@ func TestStreamWriterStatsAndTrace(t *testing.T) {
 			t.Fatalf("stage %v spans = %d, want %d", st, got, wantFrames)
 		}
 	}
+	// A traced writer tallies chunk outcomes, and the tally must agree with
+	// what ChunkOutcomes reads back from the emitted container stream.
+	if s.Chunks <= 0 {
+		t.Fatalf("traced writer recorded no chunk outcomes: %+v", s)
+	}
+	if s.RawChunks < 0 || s.RawChunks > s.Chunks {
+		t.Fatalf("raw chunk tally out of range: %d of %d", s.RawChunks, s.Chunks)
+	}
+	var wantChunks, wantRaw int64
+	for rest := buf.Bytes(); len(rest) > 0; {
+		frame, err := readFrame(bytes.NewReader(rest), nil, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, raw, _, err := ChunkOutcomes(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantChunks += int64(c)
+		wantRaw += int64(raw)
+		rest = rest[framePrefix+len(frame):]
+	}
+	if s.Chunks != wantChunks || s.RawChunks != wantRaw {
+		t.Fatalf("chunk tally = %d/%d raw, stream says %d/%d", s.Chunks, s.RawChunks, wantChunks, wantRaw)
+	}
 	// At least one pipeline worker lane must have registered a track.
 	var sawWorker bool
 	for _, name := range rec.TrackNames() {
@@ -186,6 +211,9 @@ func TestStreamWriterStatsAndTrace(t *testing.T) {
 	}
 	if got := w2.Stats().Units; got != wantFrames {
 		t.Fatalf("default-recorder units = %d, want %d", got, wantFrames)
+	}
+	if got := w2.Stats().Chunks; got != 0 {
+		t.Fatalf("untraced writer paid for a chunk tally: %d chunks", got)
 	}
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 		t.Fatal("tracing changed the streamed bytes")
